@@ -1,0 +1,38 @@
+//! `osa-abr` — chunk-level ABR streaming simulator and baselines
+//! (DESIGN.md §1 rows 4, 6 and 11).
+//!
+//! # Contract
+//!
+//! This crate will provide the video-streaming environment the paper's case
+//! study runs in:
+//!
+//! - a chunk-level discrete-event simulator substituting MahiMahi
+//!   (DESIGN.md §2.1): trace-driven link capacity from [`osa_trace`], 80 ms
+//!   RTT, per-chunk download accounting, buffer drain/fill, rebuffering;
+//! - a size-table video model mirroring EnvivioDash3: 48 chunks × 5
+//!   concatenations, 6 bitrate levels, ~4 s chunks, VBR per-chunk size
+//!   variation;
+//! - the linear QoE metric of §3.1 (bitrate utility − rebuffer penalty −
+//!   smoothness penalty);
+//! - default/baseline policies: Buffer-Based (reservoir/cushion), Random,
+//!   and the extension baselines Rate-Based, BOLA, and robustMPC.
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// simulator lands.
+pub const IMPLEMENTED: bool = false;
+
+/// Round-trip time the paper's emulation applies to every chunk request.
+pub const RTT_MS: u32 = 80;
+
+/// Number of bitrate levels in the video model.
+pub const NUM_BITRATES: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        assert_eq!(super::RTT_MS, 80);
+        assert_eq!(super::NUM_BITRATES, 6);
+    }
+}

@@ -1,0 +1,230 @@
+//! Microbenchmark: forward and forward+backward passes of the
+//! Pensieve-shaped actor network (per-feature Conv1d branches merged into a
+//! 128-unit dense layer, softmax head over 6 bitrates).
+//!
+//! The offline build has no `criterion`, so this is a hand-rolled harness
+//! (`harness = false`): per-iteration wall-clock sampling with warmup,
+//! reporting mean / median / p95. Run with
+//!
+//! ```sh
+//! cargo bench -p osa-bench
+//! ```
+//!
+//! which rewrites `BENCH_nn.json` at the repo root — the baseline later
+//! performance PRs are measured against. Sample counts can be scaled with
+//! the env var `OSA_BENCH_SAMPLES` (default 200).
+
+use std::time::Instant;
+
+use osa_nn::json::{obj, Value};
+use osa_nn::prelude::*;
+
+/// The Pensieve actor: three Conv1d feature branches + a scalar branch,
+/// concatenated into a dense merge. `Sequential` is a linear chain, so the
+/// branch fan-in is composed explicitly here — exactly how
+/// `osa-pensieve` will build it.
+struct PensieveActor {
+    conv_throughput: Conv1d, // (1 x 8) history -> 128 filters, kernel 4
+    conv_delay: Conv1d,      // (1 x 8) history -> 128 filters, kernel 4
+    conv_sizes: Conv1d,      // (1 x 6) next-chunk sizes -> 128 filters, kernel 4
+    dense_scalars: Dense,    // buffer, chunks-left, last bitrate -> 128
+    relu_branches: [ReLU; 4],
+    merge: Dense, // concat -> 128
+    relu_merge: ReLU,
+    head: Dense, // 128 -> 6 bitrates
+    softmax: Softmax,
+}
+
+const HIST: usize = 8;
+const SIZES: usize = 6;
+const SCALARS: usize = 3;
+const FILTERS: usize = 128;
+const KERNEL: usize = 4;
+const MERGE: usize = 128;
+const ACTIONS: usize = 6;
+
+impl PensieveActor {
+    fn new(rng: &mut Rng) -> Self {
+        let conv_throughput = Conv1d::new(1, HIST, FILTERS, KERNEL, Init::HeUniform, rng);
+        let conv_delay = Conv1d::new(1, HIST, FILTERS, KERNEL, Init::HeUniform, rng);
+        let conv_sizes = Conv1d::new(1, SIZES, FILTERS, KERNEL, Init::HeUniform, rng);
+        let dense_scalars = Dense::new(SCALARS, MERGE, Init::HeUniform, rng);
+        let merge_in =
+            conv_throughput.out_dim() + conv_delay.out_dim() + conv_sizes.out_dim() + MERGE;
+        PensieveActor {
+            conv_throughput,
+            conv_delay,
+            conv_sizes,
+            dense_scalars,
+            relu_branches: Default::default(),
+            merge: Dense::new(merge_in, MERGE, Init::HeUniform, rng),
+            relu_merge: ReLU::new(),
+            head: Dense::new(MERGE, ACTIONS, Init::XavierUniform, rng),
+            softmax: Softmax::new(),
+        }
+    }
+
+    fn forward(&mut self, state: &PensieveState) -> Tensor {
+        let a = self.relu_branches[0].forward(&self.conv_throughput.forward(&state.throughput));
+        let b = self.relu_branches[1].forward(&self.conv_delay.forward(&state.delay));
+        let c = self.relu_branches[2].forward(&self.conv_sizes.forward(&state.sizes));
+        let d = self.relu_branches[3].forward(&self.dense_scalars.forward(&state.scalars));
+        let merged = concat_cols(&[&a, &b, &c, &d]);
+        let m = self.relu_merge.forward(&self.merge.forward(&merged));
+        self.softmax.forward(&self.head.forward(&m))
+    }
+
+    /// One training-style backward pass: policy-gradient-shaped upstream
+    /// gradient through the softmax head and every branch.
+    fn backward(&mut self, grad_probs: &Tensor) {
+        let g = self.softmax.backward(grad_probs);
+        let g = self.head.backward(&g);
+        let g = self.relu_merge.backward(&g);
+        let g = self.merge.backward(&g);
+        let widths = [
+            self.conv_throughput.out_dim(),
+            self.conv_delay.out_dim(),
+            self.conv_sizes.out_dim(),
+            MERGE,
+        ];
+        let parts = split_cols(&g, &widths);
+        let g0 = self.relu_branches[0].backward(&parts[0]);
+        self.conv_throughput.backward(&g0);
+        let g1 = self.relu_branches[1].backward(&parts[1]);
+        self.conv_delay.backward(&g1);
+        let g2 = self.relu_branches[2].backward(&parts[2]);
+        self.conv_sizes.backward(&g2);
+        let g3 = self.relu_branches[3].backward(&parts[3]);
+        self.dense_scalars.backward(&g3);
+    }
+}
+
+struct PensieveState {
+    throughput: Tensor,
+    delay: Tensor,
+    sizes: Tensor,
+    scalars: Tensor,
+}
+
+impl PensieveState {
+    fn random(batch: usize, rng: &mut Rng) -> Self {
+        let rand_t = |rows: usize, cols: usize, rng: &mut Rng| {
+            let data = (0..rows * cols).map(|_| rng.range_f32(0.0, 1.0)).collect();
+            Tensor::from_vec(rows, cols, data)
+        };
+        PensieveState {
+            throughput: rand_t(batch, HIST, rng),
+            delay: rand_t(batch, HIST, rng),
+            sizes: rand_t(batch, SIZES, rng),
+            scalars: rand_t(batch, SCALARS, rng),
+        }
+    }
+}
+
+fn concat_cols(parts: &[&Tensor]) -> Tensor {
+    let rows = parts[0].rows();
+    let cols: usize = parts.iter().map(|p| p.cols()).sum();
+    let mut out = Tensor::zeros(rows, cols);
+    for r in 0..rows {
+        let orow = out.row_mut(r);
+        let mut off = 0;
+        for p in parts {
+            orow[off..off + p.cols()].copy_from_slice(p.row(r));
+            off += p.cols();
+        }
+    }
+    out
+}
+
+fn split_cols(t: &Tensor, widths: &[usize]) -> Vec<Tensor> {
+    let mut out = Vec::with_capacity(widths.len());
+    let mut off = 0;
+    for &w in widths {
+        let mut part = Tensor::zeros(t.rows(), w);
+        for r in 0..t.rows() {
+            part.row_mut(r).copy_from_slice(&t.row(r)[off..off + w]);
+        }
+        out.push(part);
+        off += w;
+    }
+    out
+}
+
+/// Time `f` once per sample after `warmup` unrecorded runs; returns
+/// per-sample nanoseconds, sorted ascending.
+fn sample_ns(samples: usize, warmup: usize, mut f: impl FnMut()) -> Vec<u64> {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        out.push(start.elapsed().as_nanos() as u64);
+    }
+    out.sort_unstable();
+    out
+}
+
+fn summarize(name: &str, ns: &[u64]) -> Value {
+    let mean = ns.iter().sum::<u64>() as f64 / ns.len() as f64;
+    let median = ns[ns.len() / 2];
+    let p95 = ns[(ns.len() as f64 * 0.95) as usize - 1];
+    println!(
+        "{name:<28} mean {:>10.0} ns   median {:>10} ns   p95 {:>10} ns",
+        mean, median, p95
+    );
+    obj(vec![
+        ("name", Value::Str(name.into())),
+        ("mean_ns", Value::Num(mean.round())),
+        ("median_ns", Value::Num(median as f64)),
+        ("p95_ns", Value::Num(p95 as f64)),
+        ("samples", Value::Num(ns.len() as f64)),
+    ])
+}
+
+fn main() {
+    let samples: usize = std::env::var("OSA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let warmup = samples / 4 + 1;
+    let mut rng = Rng::seed_from_u64(42);
+    let mut actor = PensieveActor::new(&mut rng);
+    println!("pensieve actor: conv branches {FILTERS}x{KERNEL}, merge {MERGE}, {ACTIONS} actions");
+
+    let mut results = Vec::new();
+
+    // Per-decision inference latency: batch of one state, what the online
+    // SafeAgent pays on every chunk decision.
+    let state1 = PensieveState::random(1, &mut rng);
+    let ns = sample_ns(samples, warmup, || {
+        let probs = actor.forward(&state1);
+        std::hint::black_box(probs);
+    });
+    results.push(summarize("actor_forward_batch1", &ns));
+
+    // Training step shape: batch of 32 states, forward + full backward.
+    let state32 = PensieveState::random(32, &mut rng);
+    let upstream = {
+        let data = (0..32 * ACTIONS)
+            .map(|_| rng.range_f32(-1.0, 1.0))
+            .collect();
+        Tensor::from_vec(32, ACTIONS, data)
+    };
+    let ns = sample_ns(samples, warmup, || {
+        let probs = actor.forward(&state32);
+        std::hint::black_box(&probs);
+        actor.backward(&upstream);
+    });
+    results.push(summarize("actor_fwd_bwd_batch32", &ns));
+
+    let report = obj(vec![
+        ("bench", Value::Str("nn_forward_backward".into())),
+        ("seed", Value::Num(42.0)),
+        ("results", Value::Arr(results)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
+    std::fs::write(path, report.to_json() + "\n").expect("write BENCH_nn.json");
+    println!("baseline written to BENCH_nn.json");
+}

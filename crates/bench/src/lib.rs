@@ -1,0 +1,33 @@
+//! `osa-bench` — the evaluation harness (DESIGN.md §1 row 9).
+//!
+//! # Contract
+//!
+//! This crate will regenerate every figure in the paper's evaluation
+//! section plus its runtime remarks:
+//!
+//! - one binary per figure (`fig1_in_distribution` … `fig5_cdf`) and a
+//!   `table_runtime` binary, each taking `--seed` and caching trained
+//!   models as serde-JSON so re-runs are incremental;
+//! - the ablation binaries of DESIGN.md §7 (thresholding, ensemble size,
+//!   detector choice, calibration target, revert strategy, default policy,
+//!   CC generalization);
+//! - Criterion microbenchmarks for the hot paths: per-decision latency of
+//!   the three uncertainty signals, ABR environment step throughput, NN
+//!   forward/backward (see `benches/nn_forward_backward.rs`, live now),
+//!   OC-SVM train/predict, and trace generation.
+//!
+//! The NN microbench is implemented in this PR; its baseline numbers are
+//! recorded in `BENCH_nn.json` at the repo root so later performance PRs
+//! have a trajectory to beat.
+#![forbid(unsafe_code)]
+
+/// Marks the harness as scaffolded; figure binaries land with `osa-core`.
+pub const IMPLEMENTED: bool = false;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        assert!(!std::hint::black_box(super::IMPLEMENTED));
+    }
+}

@@ -1,0 +1,35 @@
+//! `osa-cc` — second application domain: congestion control
+//! (DESIGN.md §1 row 12, paper §5 "other application domains").
+//!
+//! # Contract
+//!
+//! This crate will replay the paper's story in a second domain to show the
+//! OSAP layer is domain-generic:
+//!
+//! - a trace-driven bottleneck link with a drop-tail queue, fed by
+//!   [`osa_trace`] capacity processes;
+//! - an Aurora-style rate-control MDP (observations: latency ratio, send
+//!   ratio, throughput ratio over a monitor-interval history) built on
+//!   [`osa_mdp`];
+//! - an MLP actor-critic agent from [`osa_nn`] trained with the shared A2C
+//!   trainer;
+//! - AIMD as the battle-tested default policy;
+//! - CC instantiations of U_S and U_π through the generic
+//!   `UncertaintySignal<O>` / `SafeAgent<O>` machinery of [`osa_core`].
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// CC environment lands.
+pub const IMPLEMENTED: bool = false;
+
+/// AIMD multiplicative-decrease factor the default policy will use.
+pub const AIMD_BETA: f32 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        let beta = std::hint::black_box(super::AIMD_BETA);
+        assert!(beta > 0.0 && beta < 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! `osa-core` — the OSAP framework, the paper's contribution
+//! (DESIGN.md §1 row 8).
+//!
+//! # Contract
+//!
+//! This crate will implement online safety assurance as described in §2 of
+//! the paper:
+//!
+//! - an `UncertaintySignal<O>` trait generic over the observation type, so
+//!   the same machinery guards both the ABR and congestion-control domains;
+//! - the three concrete signals: U_S (novelty detection via
+//!   [`osa_ocsvm`]), U_π (agent-ensemble KL-divergence-to-mean), and U_V
+//!   (value-ensemble distance-to-mean), the ensembles sized i=5 with the
+//!   top-2 outliers discarded (§3.1);
+//! - k-window variance smoothing and l-consecutive-exceedance thresholding
+//!   (§2.5), plus calibration of (α, l) to match the novelty detector's
+//!   in-distribution QoE;
+//! - a `SafeAgent<O>` wrapper that runs the learned policy while the signal
+//!   is quiet and defaults to the Buffer-Based policy when it trips;
+//! - normalized scoring (0 = Random's QoE, 1 = BB's QoE, §3.3) used by
+//!   every figure binary.
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// uncertainty signals land.
+pub const IMPLEMENTED: bool = false;
+
+/// Ensemble size the paper uses for U_π and U_V (§3.1).
+pub const ENSEMBLE_SIZE: usize = 5;
+
+/// Ensemble members kept after discarding the top-2 outliers (§3.1).
+pub const ENSEMBLE_KEEP: usize = 3;
+
+/// Consecutive threshold exceedances required before defaulting (§3.1).
+pub const DEFAULT_L: usize = 3;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        assert!(std::hint::black_box(super::ENSEMBLE_KEEP) <= super::ENSEMBLE_SIZE);
+    }
+}

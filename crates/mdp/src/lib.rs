@@ -1,0 +1,39 @@
+//! `osa-mdp` — sequential decision making for the osa workspace (DESIGN.md §1 row 2).
+//!
+//! # Contract
+//!
+//! This crate will provide the MDP substrate every learned policy in the
+//! workspace trains against:
+//!
+//! - `Env`, `Policy`, and `ValueFunction` traits with explicit, seedable RNG
+//!   state (no global randomness);
+//! - episode rollouts, discounted returns, and generalized advantage
+//!   estimation (GAE);
+//! - an A2C trainer with crossbeam-scoped parallel workers and a
+//!   parking_lot-guarded shared parameter server (A3C-style asynchronous
+//!   advantage actor-critic), consuming actor/critic networks from
+//!   [`osa_nn`].
+//!
+//! The paper (§2.1) frames the learning-augmented system as an agent acting
+//! in an MDP; this crate is that framing, kept independent of any concrete
+//! domain so both the ABR and the congestion-control case studies can reuse
+//! it.
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// A2C trainer lands.
+pub const IMPLEMENTED: bool = false;
+
+/// Discount factor the paper's experiments use; exposed now so downstream
+/// scaffolds can reference a single constant.
+pub const DEFAULT_GAMMA: f32 = 0.99;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        let gamma = std::hint::black_box(super::DEFAULT_GAMMA);
+        assert!(!std::hint::black_box(super::IMPLEMENTED));
+        assert!(gamma > 0.0 && gamma < 1.0);
+    }
+}

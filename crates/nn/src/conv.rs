@@ -1,0 +1,271 @@
+//! 1-D convolution over fixed-geometry flattened inputs.
+//!
+//! Pensieve's actor/critic networks run small Conv1d branches over short
+//! feature histories (e.g. the last 8 throughput samples). Because every
+//! layer in this engine maps `(batch × in_dim)` matrices, `Conv1d` fixes
+//! its signal geometry `(in_channels, length)` at construction and
+//! interprets each input row as the channel-major flattening
+//! `[c0 t0 … c0 t(L-1), c1 t0 …]`. Output rows are the same layout with
+//! `out_channels` channels of length `length − kernel + 1` (valid
+//! convolution, stride 1, no padding — what Pensieve uses).
+
+use crate::init::{init_tensor, Init};
+use crate::layer::{Layer, ParamGrad};
+use crate::rng::Rng;
+use crate::serialize::LayerSpec;
+use crate::tensor::Tensor;
+
+/// Valid (no-padding), stride-1 1-D convolution.
+///
+/// Weights are stored as `(out_channels × in_channels·kernel)`; bias is one
+/// scalar per output channel.
+pub struct Conv1d {
+    in_channels: usize,
+    length: usize,
+    out_channels: usize,
+    kernel: usize,
+    w: Tensor,
+    b: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    pub fn new(
+        in_channels: usize,
+        length: usize,
+        out_channels: usize,
+        kernel: usize,
+        init: Init,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(
+            kernel >= 1 && kernel <= length,
+            "kernel must fit the signal"
+        );
+        let fan_in = in_channels * kernel;
+        let fan_out = out_channels * kernel;
+        let w = init_tensor(init, out_channels, fan_in, fan_in, fan_out, rng);
+        Conv1d {
+            in_channels,
+            length,
+            out_channels,
+            kernel,
+            grad_w: Tensor::zeros(out_channels, fan_in),
+            grad_b: Tensor::zeros(1, out_channels),
+            b: Tensor::zeros(1, out_channels),
+            w,
+            cached_input: None,
+        }
+    }
+
+    /// Rebuild from saved parameters (see [`LayerSpec::Conv1d`]).
+    pub fn from_params(
+        in_channels: usize,
+        length: usize,
+        out_channels: usize,
+        kernel: usize,
+        w: Tensor,
+        b: Tensor,
+    ) -> Self {
+        assert!(
+            kernel >= 1 && kernel <= length,
+            "kernel must fit the signal"
+        );
+        assert_eq!(w.rows(), out_channels, "weight rows must be out_channels");
+        assert_eq!(
+            w.cols(),
+            in_channels * kernel,
+            "weight cols must be in_channels*kernel"
+        );
+        assert_eq!((b.rows(), b.cols()), (1, out_channels), "bias shape");
+        Conv1d {
+            in_channels,
+            length,
+            out_channels,
+            kernel,
+            grad_w: Tensor::zeros(out_channels, in_channels * kernel),
+            grad_b: Tensor::zeros(1, out_channels),
+            cached_input: None,
+            w,
+            b,
+        }
+    }
+
+    /// Output signal length: `length − kernel + 1`.
+    pub fn out_len(&self) -> usize {
+        self.length - self.kernel + 1
+    }
+
+    /// Flattened input width this layer expects.
+    pub fn in_dim(&self) -> usize {
+        self.in_channels * self.length
+    }
+
+    /// Flattened output width this layer produces.
+    pub fn out_dim(&self) -> usize {
+        self.out_channels * self.out_len()
+    }
+
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    pub fn bias(&self) -> &Tensor {
+        &self.b
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.cols(),
+            self.in_dim(),
+            "Conv1d expects rows of width in_channels*length"
+        );
+        let out_len = self.out_len();
+        let (k, l) = (self.kernel, self.length);
+        let mut out = Tensor::zeros(input.rows(), self.out_dim());
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            let orow = out.row_mut(r);
+            for oc in 0..self.out_channels {
+                let wrow = self.w.row(oc);
+                let bias = self.b.get(0, oc);
+                for t in 0..out_len {
+                    let mut acc = bias;
+                    for ic in 0..self.in_channels {
+                        let xw = &x[ic * l + t..ic * l + t + k];
+                        let ww = &wrow[ic * k..(ic + 1) * k];
+                        for (&xv, &wv) in xw.iter().zip(ww) {
+                            acc += xv * wv;
+                        }
+                    }
+                    orow[oc * out_len + t] = acc;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv1d::backward before forward");
+        let out_len = self.out_len();
+        let (k, l) = (self.kernel, self.length);
+        assert_eq!(grad_out.cols(), self.out_dim(), "Conv1d grad width");
+        assert_eq!(grad_out.rows(), x.rows(), "Conv1d grad batch");
+
+        self.grad_w = Tensor::zeros(self.out_channels, self.in_channels * k);
+        self.grad_b = Tensor::zeros(1, self.out_channels);
+        let mut grad_in = Tensor::zeros(x.rows(), self.in_dim());
+
+        for r in 0..x.rows() {
+            let xr = x.row(r);
+            let gr = grad_out.row(r);
+            for oc in 0..self.out_channels {
+                let gslice = &gr[oc * out_len..(oc + 1) * out_len];
+                let gsum: f32 = gslice.iter().sum();
+                *self
+                    .grad_b
+                    .row_mut(0)
+                    .get_mut(oc)
+                    .expect("bias index in range") += gsum;
+                let wrow = self.w.row(oc).to_vec();
+                let gwrow = self.grad_w.row_mut(oc);
+                let girow = grad_in.row_mut(r);
+                for (t, &g) in gslice.iter().enumerate() {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ic in 0..self.in_channels {
+                        for dk in 0..k {
+                            gwrow[ic * k + dk] += g * xr[ic * l + t + dk];
+                            girow[ic * l + t + dk] += g * wrow[ic * k + dk];
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<ParamGrad<'_>> {
+        vec![
+            ParamGrad {
+                value: &mut self.w,
+                grad: &mut self.grad_w,
+            },
+            ParamGrad {
+                value: &mut self.b,
+                grad: &mut self.grad_b,
+            },
+        ]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Conv1d {
+            in_channels: self.in_channels,
+            length: self.length,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            w: self.w.clone(),
+            b: self.b.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-checkable single-channel case: kernel [1, 2] over [1, 2, 3, 4].
+    #[test]
+    fn forward_known_values() {
+        let w = Tensor::from_rows(&[vec![1.0, 2.0]]);
+        let b = Tensor::vector(vec![0.5]);
+        let mut c = Conv1d::from_params(1, 4, 1, 2, w, b);
+        let y = c.forward(&Tensor::from_rows(&[vec![1.0, 2.0, 3.0, 4.0]]));
+        // [1+4, 2+6, 3+8] + 0.5
+        assert_eq!(y.data(), &[5.5, 8.5, 11.5]);
+    }
+
+    /// Two input channels sum their contributions.
+    #[test]
+    fn forward_multi_channel() {
+        let w = Tensor::from_rows(&[vec![1.0, 0.0, 0.0, 1.0]]); // ch0 kernel [1,0], ch1 kernel [0,1]
+        let b = Tensor::vector(vec![0.0]);
+        let mut c = Conv1d::from_params(2, 3, 1, 2, w, b);
+        // ch0 = [1,2,3], ch1 = [10,20,30]
+        let y = c.forward(&Tensor::from_rows(&[vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]]));
+        // out[t] = ch0[t]*1 + ch1[t+1]*1
+        assert_eq!(y.data(), &[21.0, 32.0]);
+    }
+
+    #[test]
+    fn kernel_equal_to_length_degenerates_to_dense() {
+        let w = Tensor::from_rows(&[vec![1.0, 2.0, 3.0]]);
+        let b = Tensor::vector(vec![0.0]);
+        let mut c = Conv1d::from_params(1, 3, 1, 3, w, b);
+        let y = c.forward(&Tensor::from_rows(&[vec![4.0, 5.0, 6.0]]));
+        assert_eq!(y.data(), &[32.0]);
+        assert_eq!(c.out_len(), 1);
+    }
+
+    #[test]
+    fn shapes_roundtrip() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut c = Conv1d::new(3, 8, 16, 4, Init::HeUniform, &mut rng);
+        assert_eq!(c.in_dim(), 24);
+        assert_eq!(c.out_dim(), 16 * 5);
+        let x = Tensor::zeros(7, 24);
+        let y = c.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (7, 80));
+        let dx = c.backward(&Tensor::zeros(7, 80));
+        assert_eq!((dx.rows(), dx.cols()), (7, 24));
+    }
+}

@@ -1,0 +1,96 @@
+//! Weight initialization schemes (Xavier/Glorot and He/Kaiming).
+//!
+//! Fans are passed explicitly rather than derived from the tensor shape:
+//! a `Conv1d` weight is stored as `(out_channels × in_channels·kernel)`,
+//! so its fan-in is `in_channels·kernel`, not a matrix dimension.
+
+use crate::rng::Rng;
+use crate::tensor::Tensor;
+
+/// Initialization scheme for layer weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Init {
+    /// Uniform on ±√(6 / (fan_in + fan_out)) — good default for
+    /// linear/softmax outputs (Glorot & Bengio 2010).
+    XavierUniform,
+    /// Uniform on ±√(6 / fan_in) — good default before ReLU
+    /// (He et al. 2015).
+    HeUniform,
+    /// Normal with σ = √(2 / fan_in).
+    HeNormal,
+    /// All zeros — biases.
+    Zeros,
+}
+
+/// Sample a `(rows × cols)` tensor under the given scheme and fans.
+pub fn init_tensor(
+    init: Init,
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut Rng,
+) -> Tensor {
+    match init {
+        Init::XavierUniform => {
+            let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+            uniform(rows, cols, limit, rng)
+        }
+        Init::HeUniform => {
+            let limit = (6.0 / fan_in as f32).sqrt();
+            uniform(rows, cols, limit, rng)
+        }
+        Init::HeNormal => {
+            let std = (2.0 / fan_in as f32).sqrt();
+            let data = (0..rows * cols).map(|_| rng.normal(0.0, std)).collect();
+            Tensor::from_vec(rows, cols, data)
+        }
+        Init::Zeros => Tensor::zeros(rows, cols),
+    }
+}
+
+/// The ±limit bound `init_tensor` draws from for the uniform schemes;
+/// exposed so property tests can assert it.
+pub fn uniform_limit(init: Init, fan_in: usize, fan_out: usize) -> Option<f32> {
+    match init {
+        Init::XavierUniform => Some((6.0 / (fan_in + fan_out) as f32).sqrt()),
+        Init::HeUniform => Some((6.0 / fan_in as f32).sqrt()),
+        Init::HeNormal | Init::Zeros => None,
+    }
+}
+
+fn uniform(rows: usize, cols: usize, limit: f32, rng: &mut Rng) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| rng.range_f32(-limit, limit))
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng::seed_from_u64(1);
+        let t = init_tensor(Init::XavierUniform, 16, 16, 16, 16, &mut rng);
+        let limit = uniform_limit(Init::XavierUniform, 16, 16).unwrap();
+        assert!(t.data().iter().all(|x| x.abs() <= limit));
+    }
+
+    #[test]
+    fn he_normal_std_is_plausible() {
+        let mut rng = Rng::seed_from_u64(2);
+        let t = init_tensor(Init::HeNormal, 100, 100, 50, 100, &mut rng);
+        let var = t.data().iter().map(|&x| (x as f64).powi(2)).sum::<f64>() / t.len() as f64;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < 0.2 * expected, "var {var}");
+    }
+
+    #[test]
+    fn zeros_is_zeros() {
+        let mut rng = Rng::seed_from_u64(3);
+        let t = init_tensor(Init::Zeros, 3, 4, 3, 4, &mut rng);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,273 @@
+//! The [`Layer`] trait and the dense/activation layers.
+//!
+//! A layer maps a batch matrix `(batch × in_dim)` to `(batch × out_dim)`.
+//! `forward` caches whatever the backward pass needs; `backward` consumes
+//! `dL/d(output)` and returns `dL/d(input)`, overwriting the stored
+//! parameter gradients. Gradients carry whatever scaling the upstream
+//! gradient carries — the loss functions in [`crate::loss`] average over
+//! the batch, so parameter gradients come out batch-averaged.
+
+use crate::init::{init_tensor, Init};
+use crate::rng::Rng;
+use crate::serialize::LayerSpec;
+use crate::tensor::Tensor;
+
+/// A mutable view of one parameter tensor paired with its gradient.
+pub struct ParamGrad<'a> {
+    pub value: &'a mut Tensor,
+    pub grad: &'a mut Tensor,
+}
+
+/// A differentiable batch-to-batch transformation.
+pub trait Layer {
+    /// Compute outputs and cache what `backward` will need.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Given `dL/d(output)`, store `dL/d(params)` and return `dL/d(input)`.
+    ///
+    /// Must be called after `forward`; panics otherwise.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Parameter/gradient pairs, in a stable order. Parameter-free layers
+    /// return an empty vec.
+    fn params(&mut self) -> Vec<ParamGrad<'_>> {
+        Vec::new()
+    }
+
+    /// Snapshot for serialization.
+    fn spec(&self) -> LayerSpec;
+}
+
+/// Fully connected layer: `y = x·W + b` with `W: (in × out)`, `b: (1 × out)`.
+pub struct Dense {
+    w: Tensor,
+    b: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    pub fn new(in_dim: usize, out_dim: usize, init: Init, rng: &mut Rng) -> Self {
+        let w = init_tensor(init, in_dim, out_dim, in_dim, out_dim, rng);
+        Dense {
+            grad_w: Tensor::zeros(in_dim, out_dim),
+            grad_b: Tensor::zeros(1, out_dim),
+            b: Tensor::zeros(1, out_dim),
+            w,
+            cached_input: None,
+        }
+    }
+
+    /// Rebuild from saved parameters (see [`LayerSpec::Dense`]).
+    pub fn from_params(w: Tensor, b: Tensor) -> Self {
+        assert_eq!(b.rows(), 1, "bias must be a row vector");
+        assert_eq!(b.cols(), w.cols(), "bias width must match weight cols");
+        Dense {
+            grad_w: Tensor::zeros(w.rows(), w.cols()),
+            grad_b: Tensor::zeros(1, b.cols()),
+            cached_input: None,
+            w,
+            b,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    pub fn weights(&self) -> &Tensor {
+        &self.w
+    }
+
+    pub fn bias(&self) -> &Tensor {
+        &self.b
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.cols(), self.w.rows(), "Dense input width mismatch");
+        let mut out = input.matmul(&self.w);
+        out.add_row_broadcast(&self.b);
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward before forward");
+        self.grad_w = x.tmatmul(grad_out);
+        self.grad_b = grad_out.col_sum();
+        grad_out.matmul_t(&self.w)
+    }
+
+    fn params(&mut self) -> Vec<ParamGrad<'_>> {
+        vec![
+            ParamGrad {
+                value: &mut self.w,
+                grad: &mut self.grad_w,
+            },
+            ParamGrad {
+                value: &mut self.b,
+                grad: &mut self.grad_b,
+            },
+        ]
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Dense {
+            w: self.w.clone(),
+            b: self.b.clone(),
+        }
+    }
+}
+
+/// Rectified linear unit, elementwise `max(0, x)`.
+#[derive(Default)]
+pub struct ReLU {
+    cached_input: Option<Tensor>,
+}
+
+impl ReLU {
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_input = Some(input.clone());
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("ReLU::backward before forward");
+        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+        grad_out.hadamard(&mask)
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::ReLU
+    }
+}
+
+/// Row-wise softmax with the max-subtraction trick.
+///
+/// For training a classifier/actor head, prefer feeding *logits* to
+/// [`crate::loss::softmax_cross_entropy`], which fuses the two for
+/// stability; this layer exists for inference-time probability outputs and
+/// for nets whose downstream loss consumes probabilities (e.g. the entropy
+/// bonus).
+#[derive(Default)]
+pub struct Softmax {
+    cached_output: Option<Tensor>,
+}
+
+impl Softmax {
+    pub fn new() -> Self {
+        Softmax::default()
+    }
+}
+
+impl Layer for Softmax {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut out = input.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .as_ref()
+            .expect("Softmax::backward before forward");
+        // dx_i = y_i * (g_i - Σ_j g_j y_j), per row.
+        let mut out = Tensor::zeros(y.rows(), y.cols());
+        for r in 0..y.rows() {
+            let yr = y.row(r);
+            let gr = grad_out.row(r);
+            let dot: f32 = yr.iter().zip(gr).map(|(&a, &b)| a * b).sum();
+            let or = out.row_mut(r);
+            for ((o, &yi), &gi) in or.iter_mut().zip(yr).zip(gr) {
+                *o = yi * (gi - dot);
+            }
+        }
+        out
+    }
+
+    fn spec(&self) -> LayerSpec {
+        LayerSpec::Softmax
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_forward_known_values() {
+        let w = Tensor::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let b = Tensor::vector(vec![0.5, -0.5]);
+        let mut d = Dense::from_params(w, b);
+        let y = d.forward(&Tensor::from_rows(&[vec![3.0, 4.0]]));
+        assert_eq!(y.data(), &[3.5, 7.5]);
+    }
+
+    #[test]
+    fn relu_clamps_and_masks_gradient() {
+        let mut r = ReLU::new();
+        let y = r.forward(&Tensor::vector(vec![-1.0, 0.0, 2.0]));
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let dx = r.backward(&Tensor::vector(vec![5.0, 5.0, 5.0]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_normalize() {
+        let mut s = Softmax::new();
+        let y = s.forward(&Tensor::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![1000.0, 1000.0, 1000.0],
+        ]));
+        for r in 0..2 {
+            let sum: f32 = y.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // The large-logit row must not overflow to NaN.
+        assert!(y.is_finite());
+        assert!((y.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_gradient_sums_to_zero_per_row() {
+        // Softmax outputs sum to 1, so the input gradient must sum to 0
+        // along each row for any upstream gradient.
+        let mut s = Softmax::new();
+        s.forward(&Tensor::from_rows(&[vec![0.3, -1.2, 2.0, 0.0]]));
+        let dx = s.backward(&Tensor::from_rows(&[vec![1.0, -2.0, 0.5, 3.0]]));
+        let sum: f32 = dx.row(0).iter().sum();
+        assert!(sum.abs() < 1e-6, "row gradient sum {sum}");
+    }
+}

@@ -1,0 +1,33 @@
+//! `osa-ocsvm` — novelty detection for the U_S signal (DESIGN.md §1 row 7).
+//!
+//! # Contract
+//!
+//! This crate will provide the paper's "classic ND method" (§2.4) from
+//! scratch:
+//!
+//! - a one-class SVM in the Schölkopf formulation with an RBF kernel,
+//!   ν-parameterized, trained by a working-set SMO solver specialized to
+//!   the one-class dual (substituting SciPy, DESIGN.md §2.4);
+//! - the §3.1 feature pipeline: mean/std of the 10 most recent throughput
+//!   samples, windows of the k latest pairs;
+//! - ablation detectors sharing the same interface: kNN-distance and
+//!   Mahalanobis distance;
+//! - property-tested invariants (ν bounds the training outlier fraction,
+//!   kernel symmetry/PSD spot checks).
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// SMO solver lands.
+pub const IMPLEMENTED: bool = false;
+
+/// Number of recent throughput samples summarized by the §3.1 feature
+/// pipeline.
+pub const FEATURE_WINDOW: usize = 10;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        assert_eq!(super::FEATURE_WINDOW, 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! `osa-pensieve` — the learned ABR policy (DESIGN.md §1 row 5).
+//!
+//! # Contract
+//!
+//! This crate will reimplement Pensieve on top of [`osa_nn`] and
+//! [`osa_mdp`]:
+//!
+//! - the Pensieve state encoding: past-throughput and download-time
+//!   histories, current buffer, chunks remaining, last bitrate, and
+//!   next-chunk sizes per bitrate;
+//! - actor and critic networks with per-feature Conv1d branches merged into
+//!   a 128-unit dense layer (softmax actor over bitrates, scalar critic),
+//!   built from `osa_nn` layers;
+//! - entropy-regularized A3C training against the [`osa_abr`] environment
+//!   at reduced scale (DESIGN.md §2.3);
+//! - deterministic argmax inference and serde-JSON model persistence so the
+//!   bench harness can cache trained agents and ensembles.
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// agent lands.
+pub const IMPLEMENTED: bool = false;
+
+/// Length of the throughput / download-time history windows in the Pensieve
+/// state encoding.
+pub const HISTORY_LEN: usize = 8;
+
+/// Hidden width of the dense merge layer in the Pensieve networks.
+pub const MERGE_UNITS: usize = 128;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        assert_eq!(super::HISTORY_LEN, 8);
+        assert_eq!(super::MERGE_UNITS, 128);
+    }
+}

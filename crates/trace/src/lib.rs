@@ -1,0 +1,35 @@
+//! `osa-trace` — network throughput trace datasets (DESIGN.md §1 row 3).
+//!
+//! # Contract
+//!
+//! This crate will provide the six throughput datasets the paper evaluates
+//! on, all generated from explicit seeded RNG state:
+//!
+//! - two "real-world-like" generators substituting the Norway 3G/HSDPA and
+//!   Belgium 4G/LTE datasets: Markov-modulated Gaussian processes whose
+//!   regimes (deep fades, handover outages, high-rate bursts) match the
+//!   published summary statistics of the originals (DESIGN.md §2.2);
+//! - four synthetic i.i.d. samplers implemented from scratch:
+//!   Gamma(1,2) and Gamma(2,2) via Marsaglia–Tsang, Logistic(4, 0.5) and
+//!   Exp(1) via inverse-CDF;
+//! - 70/30 train/test splits with validation carved from the training side;
+//! - fault injection (outages, throughput spikes, rate limiting) for
+//!   robustness experiments;
+//! - serde-JSON trace I/O so generated datasets can be cached by the bench
+//!   harness.
+#![forbid(unsafe_code)]
+
+/// Marks the crate as scaffolded but not yet implemented; removed once the
+/// dataset generators land.
+pub const IMPLEMENTED: bool = false;
+
+/// Number of datasets the paper's cross-evaluation matrix is built over.
+pub const NUM_DATASETS: usize = 6;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaffold_compiles() {
+        assert_eq!(super::NUM_DATASETS, 6);
+    }
+}
