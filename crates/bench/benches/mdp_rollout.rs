@@ -1,0 +1,102 @@
+//! Microbenchmark: A2C training rollout throughput (environment steps per
+//! second) at 1, 2 and 4 asynchronous workers, on the chain MDP with a
+//! Pensieve-scale MLP actor/critic.
+//!
+//! The interesting number is the multi-worker speedup over one worker:
+//! workers only serialize on the parameter-server mutex (parameter copy +
+//! optimizer step), so on a multi-core machine throughput should scale
+//! close to linearly until the optimizer step saturates the lock. The
+//! report records `hardware_threads` alongside the measurements — on a
+//! single-core container the workers time-slice one CPU and the speedup
+//! is necessarily ≈ 1×, which is a property of the hardware, not the
+//! trainer.
+//!
+//! ```sh
+//! cargo bench -p osa-bench --bench mdp_rollout
+//! ```
+//!
+//! rewrites `BENCH_mdp.json` at the repo root, the baseline for the
+//! training-stack performance trajectory. `OSA_BENCH_UPDATES` scales run
+//! length (default 300 gradient updates per configuration).
+
+use std::time::Instant;
+
+use osa_mdp::envs::chain::ChainEnv;
+use osa_mdp::prelude::*;
+use osa_nn::json::{obj, Value};
+use osa_nn::rng::Rng;
+
+const HIDDEN: usize = 64;
+const ROLLOUT_LEN: usize = 64;
+
+/// One full training run; returns environment steps per second.
+fn run(workers: usize, updates: usize, seed: u64) -> f64 {
+    let env = ChainEnv::new(8);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut ac = ActorCritic::mlp(env.num_states(), HIDDEN, 2, &mut rng);
+    let cfg = A2cConfig {
+        gamma: 0.95,
+        rollout_len: ROLLOUT_LEN,
+        workers,
+        updates,
+        seed,
+        ..A2cConfig::default()
+    };
+    let start = Instant::now();
+    let report = train(&mut ac, &env, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.updates, updates as u64);
+    report.env_steps as f64 / secs
+}
+
+fn main() {
+    let updates: usize = std::env::var("OSA_BENCH_UPDATES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "chain MDP, {HIDDEN}-unit MLPs, rollout_len {ROLLOUT_LEN}, {updates} updates per config, \
+         {hardware_threads} hardware thread(s)"
+    );
+
+    // Warm up allocator and caches off the record.
+    run(1, updates / 4 + 1, 7);
+
+    let mut results = Vec::new();
+    let mut by_workers = Vec::new();
+    for workers in [1usize, 2, 4] {
+        // Best of three: training throughput is noisy under schedulers.
+        let best = (0..3)
+            .map(|rep| run(workers, updates, 42 + rep))
+            .fold(f64::MIN, f64::max);
+        println!("workers {workers}: {best:>12.0} steps/sec");
+        by_workers.push(best);
+        results.push(obj(vec![
+            ("workers", Value::Num(workers as f64)),
+            ("steps_per_sec", Value::Num(best.round())),
+            ("updates", Value::Num(updates as f64)),
+            ("rollout_len", Value::Num(ROLLOUT_LEN as f64)),
+        ]));
+    }
+
+    let single = by_workers[0];
+    let best_multi = by_workers[1..].iter().cloned().fold(f64::MIN, f64::max);
+    let speedup = best_multi / single;
+    println!("best multi-worker speedup over single worker: {speedup:.2}x");
+
+    let report = obj(vec![
+        ("bench", Value::Str("mdp_rollout".into())),
+        ("env", Value::Str("chain-8".into())),
+        ("hidden", Value::Num(HIDDEN as f64)),
+        ("hardware_threads", Value::Num(hardware_threads as f64)),
+        ("results", Value::Arr(results)),
+        (
+            "multi_worker_speedup",
+            Value::Num((speedup * 100.0).round() / 100.0),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mdp.json");
+    std::fs::write(path, report.to_json() + "\n").expect("write BENCH_mdp.json");
+    println!("baseline written to BENCH_mdp.json");
+}

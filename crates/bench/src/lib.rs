@@ -14,11 +14,13 @@
 //! - Criterion microbenchmarks for the hot paths: per-decision latency of
 //!   the three uncertainty signals, ABR environment step throughput, NN
 //!   forward/backward (see `benches/nn_forward_backward.rs`, live now),
-//!   OC-SVM train/predict, and trace generation.
+//!   A2C rollout/training throughput at 1/2/4 workers
+//!   (`benches/mdp_rollout.rs`, live now), OC-SVM train/predict, and
+//!   trace generation.
 //!
-//! The NN microbench is implemented in this PR; its baseline numbers are
-//! recorded in `BENCH_nn.json` at the repo root so later performance PRs
-//! have a trajectory to beat.
+//! The NN and MDP microbenches are implemented; their baseline numbers
+//! are recorded in `BENCH_nn.json` and `BENCH_mdp.json` at the repo root
+//! so later performance PRs have a trajectory to beat.
 #![forbid(unsafe_code)]
 
 /// Marks the harness as scaffolded; figure binaries land with `osa-core`.

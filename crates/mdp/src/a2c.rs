@@ -1,0 +1,454 @@
+//! Advantage actor-critic training with A3C-style asynchronous parallel
+//! workers.
+//!
+//! # Architecture
+//!
+//! One [`ActorCritic`] pair (actor: obs → logits, critic: obs → scalar)
+//! lives in a `Mutex`-guarded parameter server together with its two
+//! optimizers and a monotonically increasing *parameter version*. Each
+//! worker (a `std::thread::scope` thread; the workspace is std-only, so
+//! no crossbeam/parking_lot) owns a private environment and an
+//! architecturally identical local replica, and loops:
+//!
+//! 1. lock, copy the server's parameters into the replica, unlock;
+//! 2. collect a `rollout_len`-step fragment with the replica
+//!    ([`crate::rollout::Collector`] carries episodes across fragments);
+//! 3. compute GAE(γ, λ) advantages and λ-return critic targets;
+//! 4. run the fused softmax policy-gradient + entropy-bonus backward pass
+//!    and the critic MSE backward pass on the replica, clip both
+//!    gradients to a global norm;
+//! 5. lock, apply the gradients to the server's nets through the shared
+//!    optimizers, bump the version, record stats, unlock.
+//!
+//! Workers never block each other during (2)–(4), the expensive part;
+//! the lock is held only for parameter copies and optimizer steps. As in
+//! A3C, gradients may be one version stale when applied — the classic
+//! asynchronous trade that buys near-linear rollout throughput. With
+//! `workers == 1` the whole procedure is strictly sequential and
+//! therefore bit-reproducible from the seed (pinned by
+//! `tests/convergence.rs`).
+
+use std::sync::Mutex;
+
+use osa_nn::loss;
+use osa_nn::optim::Adam;
+use osa_nn::prelude::{Dense, Init, ReLU, Sequential};
+use osa_nn::rng::Rng;
+use osa_nn::tensor::Tensor;
+
+use crate::env::{Env, Policy, ValueFunction};
+use crate::gae::{gae, normalize_advantages};
+use crate::rollout::Collector;
+
+/// A softmax policy network and a state-value network trained together.
+///
+/// The actor outputs *logits* (no softmax layer): sampling and the policy
+/// gradient both work in log-space, which is numerically stable for
+/// near-deterministic policies.
+#[derive(Default)]
+pub struct ActorCritic {
+    /// `(batch × obs_dim) → (batch × num_actions)` logits.
+    pub actor: Sequential,
+    /// `(batch × obs_dim) → (batch × 1)` state values.
+    pub critic: Sequential,
+}
+
+impl ActorCritic {
+    /// Two independent single-hidden-layer ReLU MLPs — the workhorse
+    /// shape for the in-crate environments and the CC case study.
+    pub fn mlp(obs_dim: usize, hidden: usize, num_actions: usize, rng: &mut Rng) -> Self {
+        ActorCritic {
+            actor: Sequential::new()
+                .with(Dense::new(obs_dim, hidden, Init::HeUniform, rng))
+                .with(ReLU::new())
+                .with(Dense::new(hidden, num_actions, Init::XavierUniform, rng)),
+            critic: Sequential::new()
+                .with(Dense::new(obs_dim, hidden, Init::HeUniform, rng))
+                .with(ReLU::new())
+                .with(Dense::new(hidden, 1, Init::XavierUniform, rng)),
+        }
+    }
+
+    /// A fresh pair with the same architecture *and* parameters, built
+    /// through the spec round-trip (exact for `f32`).
+    pub fn replicate(&self) -> Self {
+        ActorCritic {
+            actor: Sequential::from_spec(&self.actor.to_spec()),
+            critic: Sequential::from_spec(&self.critic.to_spec()),
+        }
+    }
+}
+
+impl Policy for ActorCritic {
+    fn action_probs(&mut self, obs: &[f32]) -> Vec<f32> {
+        let logits = self
+            .actor
+            .forward(&Tensor::from_vec(1, obs.len(), obs.to_vec()));
+        let row = logits.row(0);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut probs: Vec<f32> = row.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        probs
+    }
+}
+
+impl ValueFunction for ActorCritic {
+    fn value(&mut self, obs: &[f32]) -> f32 {
+        self.critic
+            .forward(&Tensor::from_vec(1, obs.len(), obs.to_vec()))
+            .get(0, 0)
+    }
+}
+
+/// Fused softmax policy gradient with entropy bonus, on logits.
+///
+/// Loss per fragment of `T` transitions:
+/// `L = −(1/T)·Σ_t A_t·ln π(a_t|s_t) − β·(1/T)·Σ_t H(π(·|s_t))`.
+/// Returns `(policy loss, mean entropy, dL/d logits)`. Working from
+/// log-probabilities `ln π_j = z_j − lse(z)` keeps every term finite even
+/// for saturated policies; the analytic gradient is
+/// `dL/dz_j = [(π_j − 1{j=a_t})·A_t + β·π_j·(ln π_j + H_t)] / T`,
+/// verified against central differences in this module's tests.
+pub fn policy_gradient_loss(
+    logits: &Tensor,
+    actions: &[usize],
+    advantages: &[f32],
+    entropy_coef: f32,
+) -> (f32, f32, Tensor) {
+    let t_max = logits.rows();
+    assert_eq!(actions.len(), t_max, "one action per logit row");
+    assert_eq!(advantages.len(), t_max, "one advantage per logit row");
+    let inv_t = 1.0 / t_max as f64;
+    let mut pg_loss = 0.0f64;
+    let mut entropy_sum = 0.0f64;
+    let mut grad = Tensor::zeros(t_max, logits.cols());
+    for t in 0..t_max {
+        let row = logits.row(t);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
+        let sum_exp: f64 = row.iter().map(|&l| (l as f64 - max).exp()).sum();
+        let lse = max + sum_exp.ln();
+        let adv = advantages[t] as f64;
+        let a_t = actions[t];
+        assert!(a_t < row.len(), "action index out of range");
+
+        // Per-row entropy from log-probabilities (finite even when some
+        // probability underflows to 0, since p·ln p → 0).
+        let mut h = 0.0f64;
+        for &l in row {
+            let lp = l as f64 - lse;
+            h -= lp.exp() * lp;
+        }
+        entropy_sum += h;
+        pg_loss -= adv * (row[a_t] as f64 - lse);
+
+        let grow = grad.row_mut(t);
+        for (j, (&l, g)) in row.iter().zip(grow.iter_mut()).enumerate() {
+            let lp = l as f64 - lse;
+            let p = lp.exp();
+            let indicator = if j == a_t { 1.0 } else { 0.0 };
+            let d = (p - indicator) * adv + entropy_coef as f64 * p * (lp + h);
+            *g = (d * inv_t) as f32;
+        }
+    }
+    ((pg_loss * inv_t) as f32, (entropy_sum * inv_t) as f32, grad)
+}
+
+/// Hyper-parameters for [`train`]. The defaults suit the small in-crate
+/// environments; domain crates override what they need.
+#[derive(Clone, Debug)]
+pub struct A2cConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ (1 = Monte-Carlo advantages, 0 = one-step TD).
+    pub lambda: f32,
+    /// Adam learning rate for the actor.
+    pub actor_lr: f32,
+    /// Adam learning rate for the critic.
+    pub critic_lr: f32,
+    /// Entropy-bonus coefficient β.
+    pub entropy_coef: f32,
+    /// Transitions per rollout fragment (and per gradient update).
+    pub rollout_len: usize,
+    /// Global-norm gradient clip applied to actor and critic separately.
+    pub max_grad_norm: f32,
+    /// Parallel workers; 1 ⇒ fully deterministic training.
+    pub workers: usize,
+    /// Total gradient updates across all workers.
+    pub updates: usize,
+    /// Master seed; worker `w` derives an independent stream from it.
+    pub seed: u64,
+    /// Standardize advantages per fragment before the policy gradient.
+    pub normalize_advantages: bool,
+}
+
+impl Default for A2cConfig {
+    fn default() -> Self {
+        A2cConfig {
+            gamma: crate::DEFAULT_GAMMA,
+            lambda: 0.95,
+            actor_lr: 0.01,
+            critic_lr: 0.02,
+            entropy_coef: 0.01,
+            rollout_len: 32,
+            max_grad_norm: 0.5,
+            workers: 1,
+            updates: 300,
+            seed: 0,
+            normalize_advantages: true,
+        }
+    }
+}
+
+/// What a training run did, aggregated at the parameter server.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Gradient updates applied (== `cfg.updates`).
+    pub updates: u64,
+    /// Environment transitions consumed across all workers.
+    pub env_steps: u64,
+    /// Final parameter version (== `updates`; exposed for staleness
+    /// diagnostics and the bench harness).
+    pub param_version: u64,
+    /// Undiscounted returns of completed episodes, in server-arrival
+    /// order. With one worker this is the exact training curve.
+    pub episode_returns: Vec<f32>,
+    /// Length (in transitions) of each completed episode, parallel to
+    /// `episode_returns` — the improvement signal for environments whose
+    /// undiscounted return barely separates good and bad policies.
+    pub episode_lengths: Vec<usize>,
+    /// Mean policy entropy of the last applied update.
+    pub final_entropy: f32,
+    /// Policy-gradient loss of the last applied update.
+    pub final_policy_loss: f32,
+    /// Critic MSE of the last applied update.
+    pub final_value_loss: f32,
+}
+
+impl TrainReport {
+    /// Mean return of the last `n` completed episodes (all, if fewer).
+    pub fn recent_mean_return(&self, n: usize) -> f32 {
+        let tail = &self.episode_returns[self.episode_returns.len().saturating_sub(n)..];
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f32>() / tail.len() as f32
+    }
+}
+
+/// The shared parameter server: nets, optimizers, version, stats.
+struct Server {
+    ac: ActorCritic,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    updates_done: u64,
+    report: TrainReport,
+}
+
+/// Train `ac` on `env` with `cfg.workers` asynchronous workers, in place.
+///
+/// Each worker clones `env`, so the environment type carries its own
+/// initial-state template; per-worker stochasticity comes from the
+/// explicit RNG streams derived from `cfg.seed`, not from the clone.
+pub fn train<E: Env + Clone + Send>(ac: &mut ActorCritic, env: &E, cfg: &A2cConfig) -> TrainReport {
+    assert!(cfg.workers >= 1, "need at least one worker");
+    assert!(cfg.updates >= 1, "need at least one update");
+    assert!(
+        cfg.rollout_len >= 1,
+        "need at least one transition per update"
+    );
+
+    let server = Mutex::new(Server {
+        ac: std::mem::take(ac),
+        actor_opt: Adam::new(cfg.actor_lr),
+        critic_opt: Adam::new(cfg.critic_lr),
+        updates_done: 0,
+        report: TrainReport::default(),
+    });
+
+    std::thread::scope(|scope| {
+        for wid in 0..cfg.workers {
+            let env = env.clone();
+            let server = &server;
+            scope.spawn(move || worker_loop(wid, env, server, cfg));
+        }
+    });
+
+    let server = server.into_inner().expect("no worker may panic");
+    *ac = server.ac;
+    let mut report = server.report;
+    report.updates = server.updates_done;
+    report.param_version = server.updates_done;
+    report
+}
+
+fn worker_loop<E: Env>(wid: usize, env: E, server: &Mutex<Server>, cfg: &A2cConfig) {
+    // Independent stream per worker; worker 0 uses the master seed
+    // directly, so single-worker runs are a pure function of `cfg.seed`.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ (wid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut local = server.lock().expect("server lock").ac.replicate();
+    let mut collector = Collector::new(env, &mut rng);
+
+    loop {
+        // Sync the replica to the freshest parameters.
+        {
+            let mut guard = server.lock().expect("server lock");
+            if guard.updates_done >= cfg.updates as u64 {
+                break;
+            }
+            let actor_params = guard.ac.actor.params_to_vec();
+            let critic_params = guard.ac.critic.params_to_vec();
+            drop(guard);
+            local.actor.set_params_from_vec(&actor_params);
+            local.critic.set_params_from_vec(&critic_params);
+        }
+
+        // Rollout + gradients, entirely outside the lock.
+        let ro = collector.collect(&mut local, cfg.rollout_len, &mut rng);
+        let mut adv = gae(
+            &ro.rewards,
+            &ro.values,
+            &ro.dones,
+            ro.bootstrap,
+            cfg.gamma,
+            cfg.lambda,
+        );
+        let targets: Vec<f32> = adv.iter().zip(&ro.values).map(|(a, v)| a + v).collect();
+        if cfg.normalize_advantages {
+            normalize_advantages(&mut adv);
+        }
+
+        let obs = ro.observation_matrix();
+        let logits = local.actor.forward(&obs);
+        let (pg_loss, entropy, grad_logits) =
+            policy_gradient_loss(&logits, &ro.actions, &adv, cfg.entropy_coef);
+        local.actor.backward(&grad_logits);
+        local.actor.clip_grad_global_norm(cfg.max_grad_norm);
+
+        let predicted = local.critic.forward(&obs);
+        let target_mat = Tensor::from_vec(targets.len(), 1, targets);
+        let (value_loss, grad_values) = loss::mse(&predicted, &target_mat);
+        local.critic.backward(&grad_values);
+        local.critic.clip_grad_global_norm(cfg.max_grad_norm);
+
+        let actor_grads = local.actor.grads_to_vec();
+        let critic_grads = local.critic.grads_to_vec();
+
+        // Apply to the shared nets; possibly one version stale (A3C).
+        let mut guard = server.lock().expect("server lock");
+        if guard.updates_done >= cfg.updates as u64 {
+            break;
+        }
+        let s = &mut *guard;
+        s.ac.actor.set_grads_from_vec(&actor_grads);
+        s.ac.actor.step(&mut s.actor_opt);
+        s.ac.critic.set_grads_from_vec(&critic_grads);
+        s.ac.critic.step(&mut s.critic_opt);
+        s.updates_done += 1;
+        s.report.env_steps += ro.len() as u64;
+        s.report
+            .episode_returns
+            .extend_from_slice(&ro.episode_returns);
+        s.report
+            .episode_lengths
+            .extend_from_slice(&ro.episode_lengths);
+        s.report.final_entropy = entropy;
+        s.report.final_policy_loss = pg_loss;
+        s.report.final_value_loss = value_loss;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_probs_normalize_even_for_huge_logits() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut ac = ActorCritic::mlp(3, 4, 5, &mut rng);
+        // Scale the head weights up to force saturated logits.
+        let mut p = ac.actor.params_to_vec();
+        for v in &mut p {
+            *v *= 100.0;
+        }
+        ac.actor.set_params_from_vec(&p);
+        let probs = ac.action_probs(&[1.0, -2.0, 0.5]);
+        assert_eq!(probs.len(), 5);
+        assert!(probs.iter().all(|p| p.is_finite() && *p >= 0.0));
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn replicate_preserves_parameters_exactly() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut ac = ActorCritic::mlp(4, 8, 3, &mut rng);
+        let mut twin = ac.replicate();
+        assert_eq!(ac.actor.params_to_vec(), twin.actor.params_to_vec());
+        assert_eq!(ac.critic.params_to_vec(), twin.critic.params_to_vec());
+        let obs = [0.1, -0.3, 0.7, 0.0];
+        assert_eq!(ac.action_probs(&obs), twin.action_probs(&obs));
+        assert_eq!(ac.value(&obs), twin.value(&obs));
+    }
+
+    /// Central-difference check of the fused policy-gradient/entropy
+    /// gradient: the analytic dL/d logits must match numeric
+    /// differentiation of `pg_loss − β·entropy`.
+    #[test]
+    fn policy_gradient_matches_central_differences() {
+        let mut rng = Rng::seed_from_u64(3);
+        let (t_max, acts) = (4, 3);
+        let data = (0..t_max * acts)
+            .map(|_| rng.range_f32(-1.5, 1.5))
+            .collect();
+        let logits = Tensor::from_vec(t_max, acts, data);
+        let actions = vec![0, 2, 1, 2];
+        let advantages = vec![1.3, -0.7, 0.4, 2.0];
+        let beta = 0.05;
+
+        let scalar = |l: &Tensor| {
+            let (pg, h, _) = policy_gradient_loss(l, &actions, &advantages, beta);
+            pg - beta * h
+        };
+        let (_, _, analytic) = policy_gradient_loss(&logits, &actions, &advantages, beta);
+
+        let eps = 1e-2f32;
+        let mut probe = logits.clone();
+        for i in 0..probe.len() {
+            let orig = probe.data()[i];
+            probe.data_mut()[i] = orig + eps;
+            let lp = scalar(&probe);
+            probe.data_mut()[i] = orig - eps;
+            let lm = scalar(&probe);
+            probe.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= 1e-3 * (a.abs() + numeric.abs()) + 1e-4,
+                "elem {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_gradient_rows_sum_to_zero() {
+        // Both the softmax and the entropy terms live on the simplex, so
+        // each row of the logit gradient must sum to 0.
+        let logits = Tensor::from_rows(&[vec![0.2, -1.0, 0.7], vec![2.0, 2.0, -3.0]]);
+        let (_, _, grad) = policy_gradient_loss(&logits, &[1, 0], &[0.5, -2.0], 0.02);
+        for r in 0..grad.rows() {
+            let sum: f32 = grad.row(r).iter().sum();
+            assert!(sum.abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn zero_advantage_leaves_only_entropy_force() {
+        let logits = Tensor::from_rows(&[vec![1.0, 0.0]]);
+        let (pg, _, grad) = policy_gradient_loss(&logits, &[0], &[0.0], 0.0);
+        assert_eq!(pg, 0.0);
+        assert!(grad.data().iter().all(|&g| g == 0.0));
+    }
+}

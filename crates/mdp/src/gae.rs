@@ -1,0 +1,161 @@
+//! Discounted returns and generalized advantage estimation (GAE).
+//!
+//! Both functions consume one rollout *fragment*: `T` transitions that may
+//! span several episode boundaries (marked in `dones`) and may end
+//! mid-episode, in which case the tail is bootstrapped with
+//! `bootstrap` ≈ V(s_T). Everything accumulates backwards in one pass.
+//!
+//! # The math
+//!
+//! With TD residual `δ_t = r_t + γ·V(s_{t+1})·(1−done_t) − V(s_t)`, the
+//! GAE(γ, λ) advantage is the exponentially weighted sum
+//!
+//! ```text
+//! Â_t = Σ_{k≥0} (γλ)^k · δ_{t+k}        (truncated at episode/fragment end)
+//! ```
+//!
+//! computed by the backward recursion `Â_t = δ_t + γλ·(1−done_t)·Â_{t+1}`.
+//! The two endpoints are classical estimators, which the property tests in
+//! `tests/gae_properties.rs` verify exactly:
+//!
+//! - λ = 1: `Â_t = G_t − V(s_t)` — the Monte-Carlo discounted return minus
+//!   the baseline (low bias, high variance);
+//! - λ = 0: `Â_t = δ_t` — the one-step TD advantage (high bias, low
+//!   variance).
+
+/// Discounted returns `G_t = Σ_k γ^k r_{t+k}` over a fragment, resetting
+/// at episode boundaries and seeding the truncated tail with `bootstrap`.
+///
+/// `rewards[t]` and `dones[t]` describe transition `t`; if the fragment
+/// ends mid-episode (`dones[T-1] == false`), `bootstrap` should be the
+/// value estimate of the state the last transition landed in (use 0.0 for
+/// a complete episode).
+pub fn discounted_returns(rewards: &[f32], dones: &[bool], bootstrap: f32, gamma: f32) -> Vec<f32> {
+    assert_eq!(rewards.len(), dones.len(), "rewards/dones length mismatch");
+    let mut returns = vec![0.0f32; rewards.len()];
+    let mut acc = bootstrap;
+    for t in (0..rewards.len()).rev() {
+        if dones[t] {
+            acc = 0.0;
+        }
+        acc = rewards[t] + gamma * acc;
+        returns[t] = acc;
+    }
+    returns
+}
+
+/// GAE(γ, λ) advantages over a fragment. `values[t]` is `V(s_t)` for the
+/// state transition `t` started from; `bootstrap` is `V(s_T)` for the
+/// state after the last transition (ignored if that transition ended an
+/// episode).
+///
+/// The critic's regression targets are `advantages[t] + values[t]`, which
+/// at λ = 1 reduces to the discounted returns.
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    dones: &[bool],
+    bootstrap: f32,
+    gamma: f32,
+    lambda: f32,
+) -> Vec<f32> {
+    assert_eq!(
+        rewards.len(),
+        values.len(),
+        "rewards/values length mismatch"
+    );
+    assert_eq!(rewards.len(), dones.len(), "rewards/dones length mismatch");
+    let t_max = rewards.len();
+    let mut adv = vec![0.0f32; t_max];
+    let mut acc = 0.0f32;
+    for t in (0..t_max).rev() {
+        let (next_value, nonterminal) = if dones[t] {
+            (0.0, 0.0)
+        } else if t + 1 == t_max {
+            (bootstrap, 1.0)
+        } else {
+            (values[t + 1], 1.0)
+        };
+        let delta = rewards[t] + gamma * next_value - values[t];
+        acc = delta + gamma * lambda * nonterminal * acc;
+        adv[t] = acc;
+    }
+    adv
+}
+
+/// Standardize advantages to zero mean / unit variance in place (`f64`
+/// accumulation), a common variance-reduction step before the policy
+/// gradient. Degenerate fragments (constant advantages) are left centered
+/// but unscaled.
+pub fn normalize_advantages(adv: &mut [f32]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let n = adv.len() as f64;
+    let mean = adv.iter().map(|&a| a as f64).sum::<f64>() / n;
+    let var = adv.iter().map(|&a| (a as f64 - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt();
+    let scale = if std > 1e-8 { 1.0 / std } else { 1.0 };
+    for a in adv {
+        *a = ((*a as f64 - mean) * scale) as f32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_single_episode_hand_computed() {
+        // r = [1, 2, 3], episode complete, γ = 0.5:
+        // G_2 = 3, G_1 = 2 + 0.5·3 = 3.5, G_0 = 1 + 0.5·3.5 = 2.75.
+        let g = discounted_returns(&[1.0, 2.0, 3.0], &[false, false, true], 0.0, 0.5);
+        assert_eq!(g, vec![2.75, 3.5, 3.0]);
+    }
+
+    #[test]
+    fn returns_reset_at_episode_boundary() {
+        // Two one-step episodes: each return is just its own reward.
+        let g = discounted_returns(&[5.0, 7.0], &[true, true], 0.0, 0.9);
+        assert_eq!(g, vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn returns_bootstrap_truncated_tail() {
+        // Fragment ends mid-episode: G_1 = 2 + γ·V(s_2).
+        let g = discounted_returns(&[1.0, 2.0], &[false, false], 10.0, 0.9);
+        assert!((g[1] - (2.0 + 0.9 * 10.0)).abs() < 1e-6);
+        assert!((g[0] - (1.0 + 0.9 * g[1])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bootstrap_ignored_when_last_step_terminates() {
+        let with = gae(&[1.0], &[0.3], &[true], 99.0, 0.9, 0.95);
+        let without = gae(&[1.0], &[0.3], &[true], 0.0, 0.9, 0.95);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn gae_single_step_is_td_residual() {
+        let adv = gae(&[2.0], &[0.5], &[false], 1.0, 0.9, 0.95);
+        assert!((adv[0] - (2.0 + 0.9 * 1.0 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_gives_zero_mean_unit_std() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0, 10.0];
+        normalize_advantages(&mut adv);
+        let mean: f32 = adv.iter().sum::<f32>() / adv.len() as f32;
+        let var: f32 = adv.iter().map(|a| (a - mean).powi(2)).sum::<f32>() / adv.len() as f32;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_constant_input_stays_finite() {
+        let mut adv = vec![3.0; 4];
+        normalize_advantages(&mut adv);
+        assert!(adv.iter().all(|a| a.is_finite()));
+        assert!(adv.iter().all(|a| a.abs() < 1e-6));
+    }
+}

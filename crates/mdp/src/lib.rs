@@ -1,39 +1,85 @@
-//! `osa-mdp` — sequential decision making for the osa workspace (DESIGN.md §1 row 2).
+//! `osa-mdp` — sequential decision making for the osa workspace
+//! (DESIGN.md §1 row 2).
 //!
-//! # Contract
+//! The paper (§2.1) frames a learning-augmented system as an agent acting
+//! in an MDP and trains Pensieve-style policies with parallel-worker
+//! advantage actor-critic. This crate is that framing, kept independent of
+//! any concrete domain so the ABR (`osa-pensieve`) and congestion-control
+//! (`osa-cc`) case studies, and the ensembles behind `osa-core`'s U_π/U_V
+//! signals, all train through the same substrate:
 //!
-//! This crate will provide the MDP substrate every learned policy in the
-//! workspace trains against:
+//! - [`env`] — the [`Env`]/[`Policy`]/[`ValueFunction`] traits with
+//!   explicit seedable RNG state and strict episode-boundary semantics;
+//! - [`rollout`] — fixed-horizon fragment collection that carries
+//!   episodes across fragment boundaries, plus policy evaluation;
+//! - [`gae`] — discounted returns and generalized advantage estimation
+//!   GAE(γ, λ);
+//! - [`a2c`] — the A2C trainer: softmax policy gradient with entropy
+//!   bonus, critic MSE, global-norm gradient clipping, and A3C-style
+//!   asynchronous workers on `std::thread::scope` sharing a
+//!   `Mutex`-guarded parameter server (std-only: no crossbeam or
+//!   parking_lot);
+//! - [`envs`] — deterministic in-crate environments with known optima
+//!   ([`envs::ChainEnv`], [`envs::ContextBanditEnv`]) proving trainer
+//!   correctness in `tests/`.
 //!
-//! - `Env`, `Policy`, and `ValueFunction` traits with explicit, seedable RNG
-//!   state (no global randomness);
-//! - episode rollouts, discounted returns, and generalized advantage
-//!   estimation (GAE);
-//! - an A2C trainer with crossbeam-scoped parallel workers and a
-//!   parking_lot-guarded shared parameter server (A3C-style asynchronous
-//!   advantage actor-critic), consuming actor/critic networks from
-//!   [`osa_nn`].
+//! # Example
 //!
-//! The paper (§2.1) frames the learning-augmented system as an agent acting
-//! in an MDP; this crate is that framing, kept independent of any concrete
-//! domain so both the ABR and the congestion-control case studies can reuse
-//! it.
+//! Train the chain MDP to its known optimal policy:
+//!
+//! ```
+//! use osa_mdp::a2c::{train, A2cConfig, ActorCritic};
+//! use osa_mdp::envs::chain::{ChainEnv, ADVANCE};
+//! use osa_mdp::env::Policy;
+//! use osa_nn::rng::Rng;
+//!
+//! let env = ChainEnv::new(4);
+//! let mut rng = Rng::seed_from_u64(7);
+//! let mut ac = ActorCritic::mlp(env.num_states(), 16, 2, &mut rng);
+//! let cfg = A2cConfig {
+//!     gamma: 0.95,
+//!     updates: 150,
+//!     ..A2cConfig::default()
+//! };
+//! let report = train(&mut ac, &env, &cfg);
+//! assert_eq!(report.updates, 150);
+//! // The greedy policy advances from the start state.
+//! let mut obs = vec![0.0; env.num_states()];
+//! obs[0] = 1.0;
+//! assert_eq!(ac.greedy(&obs), ADVANCE);
+//! ```
 #![forbid(unsafe_code)]
 
-/// Marks the crate as scaffolded but not yet implemented; removed once the
-/// A2C trainer lands.
-pub const IMPLEMENTED: bool = false;
+pub mod a2c;
+pub mod env;
+pub mod envs;
+pub mod gae;
+pub mod rollout;
 
-/// Discount factor the paper's experiments use; exposed now so downstream
-/// scaffolds can reference a single constant.
+pub use a2c::{policy_gradient_loss, train, A2cConfig, ActorCritic, TrainReport};
+pub use env::{sample_categorical, Env, Policy, Step, ValueFunction};
+pub use gae::{discounted_returns, gae, normalize_advantages};
+pub use rollout::{evaluate, Collector, Rollout};
+
+/// Discount factor the paper's experiments use, re-exported as the
+/// workspace-wide default ([`A2cConfig::default`] starts from it).
 pub const DEFAULT_GAMMA: f32 = 0.99;
+
+/// One-stop import for downstream crates, examples, and tests.
+pub mod prelude {
+    pub use crate::a2c::{policy_gradient_loss, train, A2cConfig, ActorCritic, TrainReport};
+    pub use crate::env::{sample_categorical, Env, Policy, Step, ValueFunction};
+    pub use crate::envs::{ChainEnv, ContextBanditEnv};
+    pub use crate::gae::{discounted_returns, gae, normalize_advantages};
+    pub use crate::rollout::{evaluate, Collector, Rollout};
+    pub use crate::DEFAULT_GAMMA;
+}
 
 #[cfg(test)]
 mod tests {
     #[test]
-    fn scaffold_compiles() {
+    fn default_gamma_is_a_valid_discount() {
         let gamma = std::hint::black_box(super::DEFAULT_GAMMA);
-        assert!(!std::hint::black_box(super::IMPLEMENTED));
         assert!(gamma > 0.0 && gamma < 1.0);
     }
 }

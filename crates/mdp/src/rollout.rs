@@ -1,0 +1,270 @@
+//! Trajectory collection: fixed-horizon rollout fragments that carry
+//! episodes across fragment boundaries.
+//!
+//! A2C-style trainers do not collect whole episodes — they collect
+//! fixed-length *fragments* (`rollout_len` transitions), compute GAE over
+//! the fragment with a bootstrapped tail, and update. [`Collector`] owns
+//! the environment and the in-flight episode state, so consecutive
+//! [`Collector::collect`] calls resume exactly where the previous fragment
+//! stopped, with no transitions dropped or duplicated at the seam.
+
+use osa_nn::rng::Rng;
+
+use crate::env::{Env, Policy, ValueFunction};
+
+/// One fixed-horizon rollout fragment plus the bookkeeping GAE needs.
+#[derive(Clone, Debug, Default)]
+pub struct Rollout {
+    /// Observation each transition started from (`T` rows).
+    pub observations: Vec<Vec<f32>>,
+    /// Action taken at each transition.
+    pub actions: Vec<usize>,
+    /// Reward earned by each transition.
+    pub rewards: Vec<f32>,
+    /// Whether each transition ended its episode.
+    pub dones: Vec<bool>,
+    /// Value estimate `V(s_t)` for each starting observation, computed
+    /// with the value function current at collection time.
+    pub values: Vec<f32>,
+    /// Value estimate of the state after the last transition, or 0.0 if
+    /// that transition terminated its episode. This is GAE's tail
+    /// bootstrap.
+    pub bootstrap: f32,
+    /// Undiscounted returns of every episode that *completed* during this
+    /// fragment, in completion order — the training curve signal.
+    pub episode_returns: Vec<f32>,
+    /// Length (in transitions) of each completed episode, parallel to
+    /// `episode_returns`.
+    pub episode_lengths: Vec<usize>,
+}
+
+impl Rollout {
+    /// Number of transitions in the fragment.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Observations stacked into a `(T × obs_dim)` matrix for batched
+    /// forward passes.
+    pub fn observation_matrix(&self) -> osa_nn::tensor::Tensor {
+        let rows = self.observations.len();
+        let cols = self.observations.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(rows * cols);
+        for obs in &self.observations {
+            data.extend_from_slice(obs);
+        }
+        osa_nn::tensor::Tensor::from_vec(rows, cols, data)
+    }
+}
+
+/// Owns an environment plus the in-flight episode, and cuts fixed-horizon
+/// fragments from the stream of transitions.
+pub struct Collector<E: Env> {
+    env: E,
+    obs: Vec<f32>,
+    ep_return: f32,
+    ep_len: usize,
+    /// Total transitions taken since construction.
+    pub total_steps: u64,
+}
+
+impl<E: Env> Collector<E> {
+    /// Wrap an environment and start its first episode.
+    pub fn new(mut env: E, rng: &mut Rng) -> Self {
+        let obs = env.reset(rng);
+        Collector {
+            env,
+            obs,
+            ep_return: 0.0,
+            ep_len: 0,
+            total_steps: 0,
+        }
+    }
+
+    /// Collect exactly `horizon` transitions, sampling actions from
+    /// `agent` and recording its value estimates; episodes that end are
+    /// reset transparently, and the final state is bootstrapped through
+    /// the agent's [`ValueFunction`] if the fragment ends mid-episode.
+    pub fn collect<A: Policy + ValueFunction>(
+        &mut self,
+        agent: &mut A,
+        horizon: usize,
+        rng: &mut Rng,
+    ) -> Rollout {
+        assert!(horizon > 0, "cannot collect an empty rollout");
+        let mut out = Rollout::default();
+        out.observations.reserve(horizon);
+        for _ in 0..horizon {
+            let action = agent.sample(&self.obs, rng);
+            let value = agent.value(&self.obs);
+            let step = self.env.step(action, rng);
+            self.total_steps += 1;
+            self.ep_return += step.reward;
+            self.ep_len += 1;
+
+            out.observations.push(std::mem::take(&mut self.obs));
+            out.actions.push(action);
+            out.rewards.push(step.reward);
+            out.dones.push(step.done);
+            out.values.push(value);
+
+            if step.done {
+                out.episode_returns.push(self.ep_return);
+                out.episode_lengths.push(self.ep_len);
+                self.ep_return = 0.0;
+                self.ep_len = 0;
+                self.obs = self.env.reset(rng);
+            } else {
+                self.obs = step.obs;
+            }
+        }
+        out.bootstrap = if *out.dones.last().expect("horizon > 0") {
+            0.0
+        } else {
+            agent.value(&self.obs)
+        };
+        out
+    }
+}
+
+/// Run `episodes` full episodes with a frozen policy (greedy or sampled)
+/// and return their undiscounted returns. `max_steps` bounds each episode
+/// against policies that never terminate.
+pub fn evaluate<E: Env, P: Policy>(
+    env: &mut E,
+    policy: &mut P,
+    episodes: usize,
+    max_steps: usize,
+    greedy: bool,
+    rng: &mut Rng,
+) -> Vec<f32> {
+    let mut returns = Vec::with_capacity(episodes);
+    for _ in 0..episodes {
+        let mut obs = env.reset(rng);
+        let mut total = 0.0f32;
+        for _ in 0..max_steps {
+            let action = if greedy {
+                policy.greedy(&obs)
+            } else {
+                policy.sample(&obs, rng)
+            };
+            let step = env.step(action, rng);
+            total += step.reward;
+            if step.done {
+                break;
+            }
+            obs = step.obs;
+        }
+        returns.push(total);
+    }
+    returns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Step;
+
+    /// Deterministic counting env: obs = [t], reward = t, episode of 3.
+    #[derive(Clone)]
+    struct CountEnv {
+        t: usize,
+    }
+
+    impl Env for CountEnv {
+        fn obs_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self, _rng: &mut Rng) -> Vec<f32> {
+            self.t = 0;
+            vec![0.0]
+        }
+        fn step(&mut self, _action: usize, _rng: &mut Rng) -> Step {
+            self.t += 1;
+            Step {
+                obs: vec![self.t as f32],
+                reward: self.t as f32,
+                done: self.t == 3,
+            }
+        }
+    }
+
+    struct UniformAgent;
+
+    impl Policy for UniformAgent {
+        fn action_probs(&mut self, _obs: &[f32]) -> Vec<f32> {
+            vec![0.5, 0.5]
+        }
+    }
+
+    impl ValueFunction for UniformAgent {
+        fn value(&mut self, obs: &[f32]) -> f32 {
+            10.0 + obs[0]
+        }
+    }
+
+    #[test]
+    fn fragments_carry_episodes_across_boundaries() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut col = Collector::new(CountEnv { t: 0 }, &mut rng);
+        let mut agent = UniformAgent;
+
+        // Horizon 2 cuts the 3-step episode mid-way.
+        let r1 = col.collect(&mut agent, 2, &mut rng);
+        assert_eq!(r1.rewards, vec![1.0, 2.0]);
+        assert_eq!(r1.dones, vec![false, false]);
+        assert!(r1.episode_returns.is_empty());
+        // Tail bootstrapped with V([2]) = 12.
+        assert_eq!(r1.bootstrap, 12.0);
+
+        // The next fragment resumes at t = 2: finishes the episode (reward
+        // 3) then starts a fresh one (reward 1).
+        let r2 = col.collect(&mut agent, 2, &mut rng);
+        assert_eq!(r2.rewards, vec![3.0, 1.0]);
+        assert_eq!(r2.dones, vec![true, false]);
+        assert_eq!(r2.episode_returns, vec![6.0]); // 1 + 2 + 3
+        assert_eq!(r2.episode_lengths, vec![3]);
+        assert_eq!(col.total_steps, 4);
+    }
+
+    #[test]
+    fn terminal_fragment_has_zero_bootstrap() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut col = Collector::new(CountEnv { t: 0 }, &mut rng);
+        let r = col.collect(&mut UniformAgent, 3, &mut rng);
+        assert_eq!(r.dones, vec![false, false, true]);
+        assert_eq!(r.bootstrap, 0.0);
+        assert_eq!(r.episode_returns, vec![6.0]);
+    }
+
+    #[test]
+    fn observation_matrix_stacks_rows() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut col = Collector::new(CountEnv { t: 0 }, &mut rng);
+        let r = col.collect(&mut UniformAgent, 3, &mut rng);
+        let m = r.observation_matrix();
+        assert_eq!((m.rows(), m.cols()), (3, 1));
+        assert_eq!(m.data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn evaluate_counts_full_episodes() {
+        let mut rng = Rng::seed_from_u64(4);
+        let returns = evaluate(
+            &mut CountEnv { t: 0 },
+            &mut UniformAgent,
+            5,
+            100,
+            true,
+            &mut rng,
+        );
+        assert_eq!(returns, vec![6.0; 5]);
+    }
+}

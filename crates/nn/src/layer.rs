@@ -19,7 +19,12 @@ pub struct ParamGrad<'a> {
 }
 
 /// A differentiable batch-to-batch transformation.
-pub trait Layer {
+///
+/// Layers must be `Send`: the A3C-style trainer in `osa-mdp` moves whole
+/// [`crate::net::Sequential`] replicas into worker threads and keeps the
+/// shared copy behind a mutex. Every layer here owns plain buffers, so the
+/// bound costs nothing.
+pub trait Layer: Send {
     /// Compute outputs and cache what `backward` will need.
     fn forward(&mut self, input: &Tensor) -> Tensor;
 

@@ -108,6 +108,105 @@ impl Sequential {
             .all(|pg| pg.value.is_finite())
     }
 
+    // -- parameter/gradient vectors ------------------------------------------
+    //
+    // The A3C-style trainer in `osa-mdp` (and later the ensembles in
+    // `osa-core`) syncs weights between a shared parameter server and
+    // per-worker replicas many times per second; JSON round-trips would
+    // dominate the training loop. These flat-vector views copy raw `f32`s
+    // in slot order — the same stable numbering `step` uses — so a
+    // snapshot taken from one net applies to any architecturally identical
+    // net.
+
+    /// Copy every parameter into one contiguous vector, in slot order.
+    pub fn params_to_vec(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                out.extend_from_slice(pg.value.data());
+            }
+        }
+        out
+    }
+
+    /// Overwrite every parameter from a flat vector produced by
+    /// [`Sequential::params_to_vec`] on an architecturally identical net.
+    /// Panics if the total length does not match.
+    pub fn set_params_from_vec(&mut self, flat: &[f32]) {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                let n = pg.value.len();
+                assert!(off + n <= flat.len(), "parameter vector too short");
+                pg.value.data_mut().copy_from_slice(&flat[off..off + n]);
+                off += n;
+            }
+        }
+        assert_eq!(off, flat.len(), "parameter vector too long");
+    }
+
+    /// Copy every stored gradient into one contiguous vector, in slot
+    /// order. Meaningful after a `backward` pass.
+    pub fn grads_to_vec(&mut self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                out.extend_from_slice(pg.grad.data());
+            }
+        }
+        out
+    }
+
+    /// Overwrite every stored gradient from a flat vector, so a gradient
+    /// computed on a worker replica can be applied to the shared net via
+    /// [`Sequential::step`]. Panics if the total length does not match.
+    pub fn set_grads_from_vec(&mut self, flat: &[f32]) {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                let n = pg.grad.len();
+                assert!(off + n <= flat.len(), "gradient vector too short");
+                pg.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+                off += n;
+            }
+        }
+        assert_eq!(off, flat.len(), "gradient vector too long");
+    }
+
+    /// L2 norm of the concatenation of every stored gradient, accumulated
+    /// in `f64` so large nets don't lose precision.
+    pub fn grad_global_norm(&mut self) -> f32 {
+        let mut sq = 0.0f64;
+        for layer in &mut self.layers {
+            for pg in layer.params() {
+                for &g in pg.grad.data() {
+                    sq += (g as f64) * (g as f64);
+                }
+            }
+        }
+        sq.sqrt() as f32
+    }
+
+    /// Scale every stored gradient so the global L2 norm is at most
+    /// `max_norm` (a no-op when it already is). Returns the pre-clip norm.
+    ///
+    /// This is the standard global-norm clip A3C/A2C training uses to keep
+    /// a single noisy rollout from destroying the shared parameters; it
+    /// preserves the gradient's direction, unlike per-element clamping.
+    pub fn clip_grad_global_norm(&mut self, max_norm: f32) -> f32 {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        let norm = self.grad_global_norm();
+        if norm > max_norm {
+            let scale = max_norm / norm;
+            for layer in &mut self.layers {
+                for pg in layer.params() {
+                    pg.grad.scale(scale);
+                }
+            }
+        }
+        norm
+    }
+
     // -- persistence ---------------------------------------------------------
 
     pub fn to_spec(&self) -> NetSpec {

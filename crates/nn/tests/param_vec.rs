@@ -1,0 +1,158 @@
+//! Tests for the flat parameter/gradient vector API and global-norm
+//! gradient clipping on [`Sequential`] — the surface the `osa-mdp` A3C
+//! trainer uses to sync worker replicas with the shared parameter server.
+//!
+//! The norm/clip tests are backed by central differences: the analytic
+//! global gradient norm must match the norm of a numerically estimated
+//! gradient, so a bookkeeping bug in the flat traversal (skipped slot,
+//! double-counted tensor) cannot pass.
+
+use osa_nn::prelude::*;
+
+const EPS: f32 = 1e-2;
+
+fn tiny_net(seed: u64) -> Sequential {
+    let mut rng = Rng::seed_from_u64(seed);
+    Sequential::new()
+        .with(Dense::new(4, 6, Init::XavierUniform, &mut rng))
+        .with(Dense::new(6, 3, Init::XavierUniform, &mut rng))
+}
+
+fn random_tensor(rows: usize, cols: usize, rng: &mut Rng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.range_f32(-1.0, 1.0)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Run forward + MSE backward so the net holds a real gradient.
+fn populate_grads(net: &mut Sequential, x: &Tensor, t: &Tensor) -> f32 {
+    let y = net.forward(x);
+    let (l, g) = loss::mse(&y, t);
+    net.backward(&g);
+    l
+}
+
+#[test]
+fn params_vec_round_trips_bit_exact() {
+    let mut net = tiny_net(1);
+    let flat = net.params_to_vec();
+    assert_eq!(flat.len(), net.num_params());
+
+    let mut other = tiny_net(2);
+    assert_ne!(other.params_to_vec(), flat, "distinct seeds must differ");
+    other.set_params_from_vec(&flat);
+    assert_eq!(other.params_to_vec(), flat);
+
+    // Identical parameters ⇒ identical forward pass, bit for bit.
+    let mut rng = Rng::seed_from_u64(3);
+    let x = random_tensor(5, 4, &mut rng);
+    assert_eq!(net.forward(&x), other.forward(&x));
+}
+
+#[test]
+fn grads_vec_round_trips_and_applies_through_step() {
+    let mut rng = Rng::seed_from_u64(4);
+    let x = random_tensor(3, 4, &mut rng);
+    let t = random_tensor(3, 3, &mut rng);
+
+    // Worker replica computes the gradient...
+    let mut worker = tiny_net(5);
+    populate_grads(&mut worker, &x, &t);
+    let grads = worker.grads_to_vec();
+    assert_eq!(grads.len(), worker.num_params());
+
+    // ...the server applies it without ever running backward itself.
+    let mut server = tiny_net(5);
+    server.set_grads_from_vec(&grads);
+    assert_eq!(server.grads_to_vec(), grads);
+    let before = server.params_to_vec();
+    server.step(&mut Sgd::new(0.1));
+    let after = server.params_to_vec();
+    for ((b, a), g) in before.iter().zip(&after).zip(&grads) {
+        assert!((a - (b - 0.1 * g)).abs() < 1e-6);
+    }
+}
+
+#[test]
+#[should_panic(expected = "parameter vector too short")]
+fn set_params_rejects_wrong_length() {
+    let mut net = tiny_net(6);
+    let n = net.num_params();
+    net.set_params_from_vec(&vec![0.0; n - 1]);
+}
+
+#[test]
+fn grad_global_norm_matches_central_differences() {
+    let mut net = tiny_net(7);
+    let mut rng = Rng::seed_from_u64(8);
+    let x = random_tensor(2, 4, &mut rng);
+    let t = random_tensor(2, 3, &mut rng);
+    populate_grads(&mut net, &x, &t);
+    let analytic_norm = net.grad_global_norm();
+
+    // Numeric gradient of the same loss w.r.t. every parameter, via the
+    // flat vector API itself (which the round-trip tests above pin down).
+    let theta = net.params_to_vec();
+    let mut numeric_sq = 0.0f64;
+    for i in 0..theta.len() {
+        let mut tp = theta.clone();
+        tp[i] = theta[i] + EPS;
+        net.set_params_from_vec(&tp);
+        let lp = loss::mse(&net.forward(&x), &t).0;
+        tp[i] = theta[i] - EPS;
+        net.set_params_from_vec(&tp);
+        let lm = loss::mse(&net.forward(&x), &t).0;
+        let g = ((lp - lm) / (2.0 * EPS)) as f64;
+        numeric_sq += g * g;
+    }
+    net.set_params_from_vec(&theta);
+    let numeric_norm = numeric_sq.sqrt() as f32;
+
+    let rel = (analytic_norm - numeric_norm).abs() / numeric_norm.max(1e-6);
+    assert!(
+        rel < 1e-2,
+        "global norm mismatch: analytic {analytic_norm} vs numeric {numeric_norm}"
+    );
+}
+
+#[test]
+fn clip_caps_norm_and_preserves_direction() {
+    let mut net = tiny_net(9);
+    let mut rng = Rng::seed_from_u64(10);
+    let x = random_tensor(2, 4, &mut rng);
+    // A far-away target makes the gradient large enough to clip.
+    let t = random_tensor(2, 3, &mut rng).map(|v| v * 100.0);
+    populate_grads(&mut net, &x, &t);
+
+    let before = net.grads_to_vec();
+    let norm_before = net.grad_global_norm();
+    assert!(norm_before > 1.0, "test setup: gradient too small to clip");
+
+    let reported = net.clip_grad_global_norm(1.0);
+    assert_eq!(reported, norm_before, "clip must report the pre-clip norm");
+    let norm_after = net.grad_global_norm();
+    assert!((norm_after - 1.0).abs() < 1e-4, "clipped norm {norm_after}");
+
+    // Direction preserved: every component scaled by the same factor.
+    let after = net.grads_to_vec();
+    let scale = 1.0 / norm_before;
+    for (b, a) in before.iter().zip(&after) {
+        assert!((a - b * scale).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn clip_is_noop_below_threshold() {
+    let mut net = tiny_net(11);
+    let mut rng = Rng::seed_from_u64(12);
+    let x = random_tensor(2, 4, &mut rng);
+    let t = random_tensor(2, 3, &mut rng);
+    populate_grads(&mut net, &x, &t);
+    let before = net.grads_to_vec();
+    let norm = net.grad_global_norm();
+    net.clip_grad_global_norm(norm + 1.0);
+    assert_eq!(
+        net.grads_to_vec(),
+        before,
+        "no-op clip must not touch grads"
+    );
+}
