@@ -97,6 +97,6 @@ fn main() {
         ),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mdp.json");
-    std::fs::write(path, report.to_json() + "\n").expect("write BENCH_mdp.json");
+    osa_bench::write_report(path, report).expect("write BENCH_mdp.json");
     println!("baseline written to BENCH_mdp.json");
 }

@@ -225,6 +225,6 @@ fn main() {
         ("results", Value::Arr(results)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
-    std::fs::write(path, report.to_json() + "\n").expect("write BENCH_nn.json");
+    osa_bench::write_report(path, report).expect("write BENCH_nn.json");
     println!("baseline written to BENCH_nn.json");
 }

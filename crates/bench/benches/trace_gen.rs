@@ -1,0 +1,104 @@
+//! Microbenchmark: trace generation and cache-serialization throughput
+//! for all six datasets.
+//!
+//! Two numbers per dataset: generation rate (traces/sec and million
+//! samples/sec — the cost of a cold bench-pipeline start) and JSON cache
+//! bandwidth (MB/s serialize and parse — the cost of every warm start).
+//!
+//! ```sh
+//! cargo bench -p osa-bench --bench trace_gen
+//! ```
+//!
+//! rewrites `BENCH_trace.json` at the repo root. `OSA_BENCH_TRACES`
+//! scales the corpus size (default 20 traces × 3000 samples per dataset).
+
+use std::time::Instant;
+
+use osa_nn::json::{obj, Value};
+use osa_trace::io;
+use osa_trace::prelude::*;
+
+const TRACE_LEN: usize = 3_000;
+
+fn main() {
+    let count: usize = std::env::var("OSA_BENCH_TRACES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    println!("trace generation: {count} traces x {TRACE_LEN} samples per dataset");
+
+    // Warm up allocator and code paths off the record.
+    Dataset::Gamma12.generate(2, TRACE_LEN, 1);
+
+    let mut results = Vec::new();
+    for dataset in Dataset::ALL {
+        // Best of three: generation is allocation-heavy and scheduler
+        // noise on shared runners is real.
+        let mut best_gen_s = f64::MAX;
+        let mut traces = Vec::new();
+        for rep in 0..3 {
+            let start = Instant::now();
+            traces = dataset.generate(count, TRACE_LEN, 42 + rep);
+            best_gen_s = best_gen_s.min(start.elapsed().as_secs_f64());
+        }
+        let samples = (count * TRACE_LEN) as f64;
+        let traces_per_sec = count as f64 / best_gen_s;
+        let msamples_per_sec = samples / best_gen_s / 1e6;
+
+        let mut text = String::new();
+        let mut best_ser_s = f64::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            text = io::traces_to_json(&traces).expect("generated traces are finite");
+            best_ser_s = best_ser_s.min(start.elapsed().as_secs_f64());
+        }
+        let mb = text.len() as f64 / 1e6;
+        let ser_mb_per_sec = mb / best_ser_s;
+
+        let mut best_parse_s = f64::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let loaded = io::traces_from_json(&text).expect("roundtrip");
+            best_parse_s = best_parse_s.min(start.elapsed().as_secs_f64());
+            assert_eq!(loaded.len(), traces.len());
+        }
+        let parse_mb_per_sec = mb / best_parse_s;
+
+        println!(
+            "{:12} {:>9.0} traces/s  {:>7.2} Msamples/s  serialize {:>7.1} MB/s  parse {:>7.1} MB/s ({:.2} MB)",
+            dataset.name(),
+            traces_per_sec,
+            msamples_per_sec,
+            ser_mb_per_sec,
+            parse_mb_per_sec,
+            mb
+        );
+        results.push(obj(vec![
+            ("dataset", Value::Str(dataset.name().into())),
+            ("traces_per_sec", Value::Num(traces_per_sec.round())),
+            (
+                "msamples_per_sec",
+                Value::Num((msamples_per_sec * 100.0).round() / 100.0),
+            ),
+            (
+                "serialize_mb_per_sec",
+                Value::Num((ser_mb_per_sec * 10.0).round() / 10.0),
+            ),
+            (
+                "parse_mb_per_sec",
+                Value::Num((parse_mb_per_sec * 10.0).round() / 10.0),
+            ),
+            ("serialized_mb", Value::Num((mb * 100.0).round() / 100.0)),
+        ]));
+    }
+
+    let report = obj(vec![
+        ("bench", Value::Str("trace_gen".into())),
+        ("traces_per_dataset", Value::Num(count as f64)),
+        ("trace_len", Value::Num(TRACE_LEN as f64)),
+        ("results", Value::Arr(results)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    osa_bench::write_report(path, report).expect("write BENCH_trace.json");
+    println!("baseline written to BENCH_trace.json");
+}

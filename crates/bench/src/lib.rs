@@ -23,13 +23,93 @@
 //! so later performance PRs have a trajectory to beat.
 #![forbid(unsafe_code)]
 
+use std::io;
+use std::path::Path;
+
+use osa_nn::json::Value;
+
 /// Marks the harness as scaffolded; figure binaries land with `osa-core`.
 pub const IMPLEMENTED: bool = false;
 
+/// Replace every non-finite number in a JSON document with `null`,
+/// recursively.
+///
+/// A bench run measures live metrics (rewards, throughputs, losses); one
+/// NaN must not cost the whole report. `osa_nn::json` refuses to encode
+/// non-finite numbers ([`Value::try_to_json`] errors), so report writers
+/// sanitize first: the poisoned cell becomes `null` — visibly absent in
+/// the committed baseline — and every other measurement survives.
+pub fn sanitize(value: Value) -> Value {
+    match value {
+        Value::Num(n) if !n.is_finite() => Value::Null,
+        Value::Arr(items) => Value::Arr(items.into_iter().map(sanitize).collect()),
+        Value::Obj(map) => Value::Obj(map.into_iter().map(|(k, v)| (k, sanitize(v))).collect()),
+        other => other,
+    }
+}
+
+/// Sanitize `report` and write it to `path` with a trailing newline.
+///
+/// The single entry point the `benches/` binaries use for their
+/// `BENCH_*.json` baselines.
+pub fn write_report<P: AsRef<Path>>(path: P, report: Value) -> io::Result<()> {
+    let text = sanitize(report)
+        .try_to_json()
+        .expect("sanitize leaves only finite numbers");
+    std::fs::write(path, text + "\n")
+}
+
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use osa_nn::json::obj;
+
     #[test]
     fn scaffold_compiles() {
         assert!(!std::hint::black_box(super::IMPLEMENTED));
+    }
+
+    /// Regression: a NaN reward in a report yields an error from the raw
+    /// codec (not a panic), and a sanitized report that still serializes.
+    #[test]
+    fn nan_reward_is_an_error_then_sanitizes_to_null() {
+        let report = obj(vec![
+            ("bench", Value::Str("demo".into())),
+            ("reward", Value::Num(f64::NAN)),
+            ("steps", Value::Num(100.0)),
+        ]);
+        assert!(report.try_to_json().is_err());
+        let clean = sanitize(report);
+        assert_eq!(
+            clean.try_to_json().unwrap(),
+            "{\"bench\":\"demo\",\"reward\":null,\"steps\":100}"
+        );
+    }
+
+    #[test]
+    fn sanitize_recurses_into_arrays_and_objects() {
+        let doc = obj(vec![(
+            "results",
+            Value::Arr(vec![
+                Value::Num(f64::INFINITY),
+                obj(vec![("x", Value::Num(f64::NEG_INFINITY))]),
+                Value::Num(2.5),
+            ]),
+        )]);
+        let clean = sanitize(doc);
+        assert_eq!(
+            clean.try_to_json().unwrap(),
+            "{\"results\":[null,{\"x\":null},2.5]}"
+        );
+    }
+
+    #[test]
+    fn write_report_survives_poisoned_metrics() {
+        let path = std::env::temp_dir().join(format!("osa_bench_nan_{}.json", std::process::id()));
+        let report = obj(vec![("qoe", Value::Num(f64::NAN))]);
+        write_report(&path, report).expect("write");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(text, "{\"qoe\":null}\n");
     }
 }

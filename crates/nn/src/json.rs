@@ -38,20 +38,49 @@ impl fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Serialization failure: JSON has no representation for NaN or ±∞.
+///
+/// Carries the offending value so callers (e.g. the bench harness) can
+/// report *which* metric went non-finite instead of losing the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NonFiniteError(pub f64);
+
+impl fmt::Display for NonFiniteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON cannot represent the non-finite number {}", self.0)
+    }
+}
+
+impl std::error::Error for NonFiniteError {}
+
 impl Value {
     /// Serialize compactly (no insignificant whitespace).
+    ///
+    /// Convenience wrapper over [`Value::try_to_json`] for documents known
+    /// to be finite (model weights are guarded upstream). Panics on NaN or
+    /// ±∞; code serializing *measured* values (rewards, bench metrics)
+    /// must use [`Value::try_to_json`] or sanitize first.
     pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out);
-        out
+        self.try_to_json()
+            .expect("document contains a non-finite number; use try_to_json")
     }
 
-    fn write(&self, out: &mut String) {
+    /// Serialize compactly, returning an error instead of panicking when
+    /// the document contains a number JSON cannot represent.
+    pub fn try_to_json(&self) -> Result<String, NonFiniteError> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String) -> Result<(), NonFiniteError> {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Value::Num(n) => {
-                assert!(n.is_finite(), "JSON cannot represent non-finite numbers");
+                if !n.is_finite() {
+                    return Err(NonFiniteError(*n));
+                }
                 // Integral values print without a fraction; Display
                 // otherwise emits shortest-round-trip digits. Negative
                 // zero must keep its sign for bit-exact round-trips.
@@ -70,7 +99,7 @@ impl Value {
                     if i > 0 {
                         out.push(',');
                     }
-                    item.write(out);
+                    item.write(out)?;
                 }
                 out.push(']');
             }
@@ -82,11 +111,12 @@ impl Value {
                     }
                     write_escaped(k, out);
                     out.push(':');
-                    v.write(out);
+                    v.write(out)?;
                 }
                 out.push('}');
             }
         }
+        Ok(())
     }
 
     /// Parse a complete JSON document (trailing whitespace allowed,
@@ -433,5 +463,35 @@ mod tests {
     fn integers_print_without_fraction() {
         assert_eq!(Value::Num(42.0).to_json(), "42");
         assert_eq!(Value::Num(-0.5).to_json(), "-0.5");
+    }
+
+    /// Regression: a single NaN metric must surface as an error, not a
+    /// panic that loses every other result in the document.
+    #[test]
+    fn non_finite_numbers_error_instead_of_panicking() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = obj(vec![
+                ("good_metric", Value::Num(1.5)),
+                ("reward", Value::Num(bad)),
+            ]);
+            let err = doc.try_to_json().expect_err("accepted non-finite");
+            if bad.is_nan() {
+                assert!(err.0.is_nan());
+            } else {
+                assert_eq!(err.0, bad);
+            }
+        }
+    }
+
+    #[test]
+    fn try_to_json_matches_to_json_on_finite_documents() {
+        let doc = obj(vec![
+            ("a", Value::Num(0.1)),
+            (
+                "b",
+                Value::Arr(vec![Value::Num(-0.0), Value::Str("x".into())]),
+            ),
+        ]);
+        assert_eq!(doc.try_to_json().unwrap(), doc.to_json());
     }
 }

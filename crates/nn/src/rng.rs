@@ -64,10 +64,23 @@ impl Rng {
         ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform `f32` in `[lo, hi)`.
+    /// Uniform `f32` in `[lo, hi)` (returns `lo` when `lo == hi`).
+    ///
+    /// `lo + (hi - lo) * u` with `u < 1` can still round up to exactly
+    /// `hi` — e.g. when `hi == lo.next_up()`, every `u ≥ 0.5` lands on
+    /// `hi` under round-to-nearest — so the result is clamped to the
+    /// largest float below `hi` to keep the documented half-open
+    /// contract. Trace generators divide by `hi - x` in places, so an
+    /// exact `hi` here would surface as a non-finite bandwidth sample.
     pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
         debug_assert!(lo <= hi);
-        lo + (hi - lo) * self.next_f32()
+        let x = lo + (hi - lo) * self.next_f32();
+        if x >= hi {
+            // max() keeps the degenerate lo == hi case at lo.
+            hi.next_down().max(lo)
+        } else {
+            x
+        }
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
@@ -152,6 +165,40 @@ mod tests {
         }
         let mean = sum / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    /// Regression: `range_f32` documents `[lo, hi)`, but the naive
+    /// `lo + (hi - lo) * u` rounds up to exactly `hi` for adversarial
+    /// magnitude pairs. With `hi == lo.next_up()` every `u ≥ 0.5` used to
+    /// land on `hi`; with a huge span the final multiply-add rounds onto
+    /// `hi` as well.
+    #[test]
+    fn range_f32_excludes_hi_for_adversarial_pairs() {
+        let adversarial: [(f32, f32); 6] = [
+            (1.0e31, 1.0e31f32.next_up()),
+            (-1.0e31f32.next_up(), -1.0e31),
+            (16_777_216.0, 16_777_218.0), // 2^24: hi - lo spans 1 ULP
+            (f32::MIN, f32::MAX),
+            (0.0, f32::MIN_POSITIVE),
+            (-1.0, 1.0),
+        ];
+        for (lo, hi) in adversarial {
+            let mut r = Rng::seed_from_u64(17);
+            for i in 0..10_000 {
+                let x = r.range_f32(lo, hi);
+                assert!(x >= lo, "draw {i}: {x} < lo {lo}");
+                assert!(x < hi, "draw {i}: {x} >= hi {hi} (lo {lo})");
+                assert!(x.is_finite(), "draw {i}: non-finite {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn range_f32_degenerate_interval_returns_lo() {
+        let mut r = Rng::seed_from_u64(19);
+        for _ in 0..100 {
+            assert_eq!(r.range_f32(3.5, 3.5), 3.5);
+        }
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Deterministic train/validation/test splitting (DESIGN.md §1 row 3).
+//!
+//! The paper trains on 70% of each dataset and tests on 30%, with
+//! hyper-parameter/threshold validation carved out of the training side
+//! (30% of train). Trace realism work (Pensieve, SIGCOMM '17; Puffer,
+//! NSDI '20) shows that train/test discipline dominates reported ABR
+//! results, so membership here is a pure function of `(traces, seed)`:
+//! re-running any experiment binary reproduces the exact same partition,
+//! and cached models can never silently train on tomorrow's test set.
+
+use osa_nn::rng::Rng;
+
+use crate::dataset::Dataset;
+use crate::trace::Trace;
+
+/// Salt mixed into the seed so the split permutation is decoupled from
+/// the generation stream (regenerating with more traces does not reshuffle
+/// which RNG state the split sees).
+const SPLIT_SALT: u64 = 0x7ab5_11d5_0f7e_57a1;
+
+/// A disjoint, exhaustive train/validation/test partition of a corpus.
+#[derive(Clone, Debug)]
+pub struct Split {
+    pub train: Vec<Trace>,
+    pub validation: Vec<Trace>,
+    pub test: Vec<Trace>,
+}
+
+impl Split {
+    /// Partition `traces`: 30% (round-half-up) to test, then 30% of the
+    /// remainder to validation, rest to train. Membership depends only on
+    /// the trace *positions*, the corpus size, and `seed`.
+    pub fn of(traces: Vec<Trace>, seed: u64) -> Self {
+        let n = traces.len();
+        let test_n = round_frac(n, 0.3);
+        let val_n = round_frac(n - test_n, 0.3);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Rng::seed_from_u64(seed ^ SPLIT_SALT);
+        rng.shuffle(&mut order);
+
+        // Scatter back into role slots: position i of the shuffled order
+        // decides trace order[i]'s role.
+        let mut role = vec![2u8; n]; // 0 = test, 1 = validation, 2 = train
+        for (i, &idx) in order.iter().enumerate() {
+            role[idx] = if i < test_n {
+                0
+            } else if i < test_n + val_n {
+                1
+            } else {
+                2
+            };
+        }
+
+        let mut split = Split {
+            train: Vec::with_capacity(n - test_n - val_n),
+            validation: Vec::with_capacity(val_n),
+            test: Vec::with_capacity(test_n),
+        };
+        for (t, r) in traces.into_iter().zip(&role) {
+            match r {
+                0 => split.test.push(t),
+                1 => split.validation.push(t),
+                _ => split.train.push(t),
+            }
+        }
+        split
+    }
+
+    /// Generate a corpus of `count` traces of `len` samples from `seed`
+    /// and partition it — the one-call entry point the quickstart and the
+    /// bench pipeline use.
+    pub fn generate(dataset: Dataset, count: usize, len: usize, seed: u64) -> Self {
+        Split::of(dataset.generate(count, len, seed), seed)
+    }
+
+    /// Total number of traces across the three parts.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.validation.len() + self.test.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// `round(n · frac)` in integer arithmetic (round-half-up), so split
+/// sizes cannot drift with float rounding across platforms.
+fn round_frac(n: usize, frac: f64) -> usize {
+    debug_assert!((0.0..=1.0).contains(&frac));
+    // frac is a small decimal (0.3); scale to per-mille to stay exact.
+    let permille = (frac * 1000.0).round() as usize;
+    (n * permille + 500) / 1000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus(n: usize) -> Vec<Trace> {
+        (0..n)
+            .map(|i| Trace::new(format!("t-{i:03}"), 1.0, vec![i as f32]))
+            .collect()
+    }
+
+    #[test]
+    fn ratios_match_contract() {
+        let s = Split::of(corpus(100), 7);
+        assert_eq!(s.test.len(), 30);
+        assert_eq!(s.validation.len(), 21); // 30% of the 70 remaining
+        assert_eq!(s.train.len(), 49);
+    }
+
+    #[test]
+    fn small_corpora_never_lose_traces() {
+        for n in [0, 1, 2, 3, 5, 7, 10] {
+            let s = Split::of(corpus(n), 1);
+            assert_eq!(s.len(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn relative_order_is_preserved_within_parts() {
+        // Stable order keeps downstream iteration deterministic even if a
+        // consumer zips traces with cached per-trace artifacts.
+        let s = Split::of(corpus(50), 3);
+        for part in [&s.train, &s.validation, &s.test] {
+            let ids: Vec<_> = part.iter().map(|t| t.id.clone()).collect();
+            let mut sorted = ids.clone();
+            sorted.sort();
+            assert_eq!(ids, sorted);
+        }
+    }
+}

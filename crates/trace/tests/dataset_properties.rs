@@ -1,0 +1,127 @@
+//! Cross-module property tests: split partition laws, fault invariants
+//! over randomized faults, and JSON cache round-trips for whole corpora.
+
+use std::collections::BTreeSet;
+
+use osa_nn::rng::Rng;
+use osa_trace::prelude::*;
+
+/// Acceptance criterion: the 70/30/validation split is disjoint,
+/// exhaustive, and seed-deterministic, at every corpus size.
+#[test]
+fn splits_are_disjoint_and_exhaustive() {
+    for count in [1usize, 2, 3, 7, 10, 21, 33, 100] {
+        for seed in [0u64, 1, 42, 1234] {
+            let all = Dataset::Gamma22.generate(count, 4, seed);
+            let all_ids: BTreeSet<String> = all.iter().map(|t| t.id.clone()).collect();
+            let split = Split::of(all, seed);
+
+            let train: BTreeSet<String> = split.train.iter().map(|t| t.id.clone()).collect();
+            let val: BTreeSet<String> = split.validation.iter().map(|t| t.id.clone()).collect();
+            let test: BTreeSet<String> = split.test.iter().map(|t| t.id.clone()).collect();
+
+            assert!(train.is_disjoint(&val), "count {count} seed {seed}");
+            assert!(train.is_disjoint(&test), "count {count} seed {seed}");
+            assert!(val.is_disjoint(&test), "count {count} seed {seed}");
+
+            let union: BTreeSet<String> = train.union(&val).chain(&test).cloned().collect();
+            assert_eq!(union, all_ids, "count {count} seed {seed}: not exhaustive");
+
+            // 30% to test (round-half-up), 30% of the remainder to
+            // validation.
+            let expect_test = (count * 3 + 5) / 10;
+            let expect_val = ((count - expect_test) * 3 + 5) / 10;
+            assert_eq!(test.len(), expect_test, "count {count}");
+            assert_eq!(val.len(), expect_val, "count {count}");
+        }
+    }
+}
+
+/// Acceptance criterion: fault-injected traces remain non-negative and
+/// finite — under randomized faults, on every dataset, including stacked
+/// faults.
+#[test]
+fn random_faults_preserve_wellformedness_on_every_dataset() {
+    for dataset in Dataset::ALL {
+        let traces = dataset.generate(4, 120, 7);
+        let mut rng = Rng::seed_from_u64(99);
+        for t in &traces {
+            for _ in 0..50 {
+                let f = Fault::random(&mut rng, t.len());
+                let out = f.apply(t);
+                assert_eq!(out.len(), t.len());
+                assert!(
+                    out.is_wellformed(),
+                    "{dataset}: {f:?} broke the bandwidth invariant"
+                );
+                assert!(out.mbps.iter().all(|&x| x <= MAX_MBPS));
+            }
+            // Stacked random faults.
+            let faults: Vec<Fault> = (0..5).map(|_| Fault::random(&mut rng, t.len())).collect();
+            assert!(inject(t, &faults).is_wellformed(), "{dataset}: stack broke");
+        }
+    }
+}
+
+/// Whole-corpus JSON cache round-trip: every dataset, bit-exact samples,
+/// through a real file.
+#[test]
+fn corpus_cache_roundtrips_bit_exactly_for_every_dataset() {
+    for dataset in Dataset::ALL {
+        let traces = dataset.generate(3, 60, 42);
+        let path = std::env::temp_dir().join(format!(
+            "osa_trace_cache_{}_{}.json",
+            dataset.name(),
+            std::process::id()
+        ));
+        save_traces(&path, &traces).expect("save");
+        let loaded = load_traces(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), traces.len());
+        for (a, b) in loaded.iter().zip(&traces) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.interval_s.to_bits(), b.interval_s.to_bits());
+            for (x, y) in a.mbps.iter().zip(&b.mbps) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{dataset}: cache not bit-exact");
+            }
+        }
+    }
+}
+
+/// Faulted traces go through the same cache path (robustness sweeps cache
+/// their perturbed corpora too).
+#[test]
+fn faulted_traces_roundtrip_through_cache() {
+    let base = Dataset::Norway.generate(2, 50, 3);
+    let faulted: Vec<Trace> = base
+        .iter()
+        .map(|t| {
+            Fault::Outage {
+                start: 5,
+                duration: 10,
+            }
+            .apply(t)
+        })
+        .collect();
+    let path = std::env::temp_dir().join(format!("osa_trace_fault_{}.json", std::process::id()));
+    save_traces(&path, &faulted).expect("save");
+    let loaded = load_traces(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded, faulted);
+    assert!(loaded.iter().all(|t| t.id.contains("+outage")));
+}
+
+/// A corpus poisoned with one NaN sample must fail to cache with an
+/// error — not panic, not write a half-document.
+#[test]
+fn poisoned_corpus_fails_to_cache_without_writing() {
+    let mut traces = Dataset::Exp.generate(2, 10, 1);
+    traces[1].mbps[3] = f32::NAN;
+    let path = std::env::temp_dir().join(format!("osa_trace_nan_{}.json", std::process::id()));
+    match save_traces(&path, &traces) {
+        Err(IoError::NonFinite(_)) => {}
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+    assert!(!path.exists(), "failed save must not leave a file behind");
+}

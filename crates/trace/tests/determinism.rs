@@ -1,0 +1,113 @@
+//! 50-seed determinism sweep for every trace generator, mirroring the nn
+//! serialization round-trip suite: the same seed must reproduce every
+//! corpus bit-for-bit, and split membership must be stable across runs —
+//! the property the cacheable bench pipeline and the paper's 6×6
+//! train/test matrix rely on.
+
+use osa_trace::prelude::*;
+
+const SEEDS: u64 = 50;
+
+fn assert_bit_identical(a: &[Trace], b: &[Trace], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: corpus size differs");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.id, y.id, "{context}: ids differ");
+        assert_eq!(
+            x.interval_s.to_bits(),
+            y.interval_s.to_bits(),
+            "{context}: interval differs"
+        );
+        assert_eq!(x.mbps.len(), y.mbps.len(), "{context}: length differs");
+        for (i, (p, q)) in x.mbps.iter().zip(&y.mbps).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{context}: sample {i} of {} differs: {p} vs {q}",
+                x.id
+            );
+        }
+    }
+}
+
+fn ids(traces: &[Trace]) -> Vec<&str> {
+    traces.iter().map(|t| t.id.as_str()).collect()
+}
+
+#[test]
+fn same_seed_is_bit_identical_for_every_generator() {
+    for dataset in Dataset::ALL {
+        for seed in 0..SEEDS {
+            let a = dataset.generate(2, 40, seed);
+            let b = dataset.generate(2, 40, seed);
+            assert_bit_identical(&a, &b, &format!("{dataset} seed {seed}"));
+        }
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_corpora() {
+    for dataset in Dataset::ALL {
+        let a = dataset.generate(1, 64, 1);
+        let b = dataset.generate(1, 64, 2);
+        assert!(
+            a[0].mbps.iter().zip(&b[0].mbps).any(|(x, y)| x != y),
+            "{dataset}: seeds 1 and 2 produced identical traces"
+        );
+    }
+}
+
+#[test]
+fn split_membership_is_stable_across_runs() {
+    for dataset in Dataset::ALL {
+        for seed in 0..SEEDS {
+            let a = Split::generate(dataset, 21, 10, seed);
+            let b = Split::generate(dataset, 21, 10, seed);
+            assert_eq!(ids(&a.train), ids(&b.train), "{dataset} seed {seed}");
+            assert_eq!(
+                ids(&a.validation),
+                ids(&b.validation),
+                "{dataset} seed {seed}"
+            );
+            assert_eq!(ids(&a.test), ids(&b.test), "{dataset} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn split_membership_varies_with_seed() {
+    // Not a fixed partition in disguise: across 50 seeds the test-set
+    // membership must actually move.
+    let distinct: std::collections::BTreeSet<Vec<String>> = (0..SEEDS)
+        .map(|seed| {
+            Split::generate(Dataset::Gamma12, 20, 4, seed)
+                .test
+                .iter()
+                .map(|t| t.id.clone())
+                .collect()
+        })
+        .collect();
+    assert!(
+        distinct.len() > 10,
+        "only {} distinct partitions",
+        distinct.len()
+    );
+}
+
+#[test]
+fn trace_length_of_neighbours_does_not_change_a_trace() {
+    // Per-trace sub-seeding: trace i is a function of (dataset, seed, i),
+    // not of how many samples its neighbours drew.
+    for dataset in Dataset::ALL {
+        let long = dataset.generate(3, 80, 9);
+        let short = dataset.generate(3, 20, 9);
+        for (l, s) in long.iter().zip(&short) {
+            for (i, (p, q)) in l.mbps.iter().zip(&s.mbps).enumerate() {
+                assert_eq!(
+                    p.to_bits(),
+                    q.to_bits(),
+                    "{dataset}: prefix sample {i} changed with trace length"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Statistical property tests for the two Markov-modulated mobile-like
+//! corpora, pinning the calibration bands documented in `mobile.rs` and
+//! the dataset table in `EXPERIMENTS.md`.
+//!
+//! Measured at seed 42 over 40 traces × 2000 samples:
+//! norway mean ≈ 2.09, std ≈ 1.28, max ≈ 6.0, lag-1 ≈ 0.94, ≈ 3.4% of
+//! slots in outage (< 0.1 Mbit/s); belgium mean ≈ 32.0, std ≈ 17.0,
+//! max = 65, lag-1 ≈ 0.92. The assertions use generous bands around
+//! those values so they fail on real calibration drift, not on noise.
+
+use osa_trace::prelude::*;
+use osa_trace::trace::corpus_stats;
+
+fn corpus(d: Dataset) -> Vec<Trace> {
+    d.generate(40, 2_000, 42)
+}
+
+fn mean_lag1(traces: &[Trace]) -> f64 {
+    traces.iter().map(|t| t.autocorr_lag1()).sum::<f64>() / traces.len() as f64
+}
+
+fn frac_below(traces: &[Trace], threshold: f32) -> f64 {
+    let total: usize = traces.iter().map(Trace::len).sum();
+    let below: usize = traces
+        .iter()
+        .flat_map(|t| t.mbps.iter())
+        .filter(|&&x| x < threshold)
+        .count();
+    below as f64 / total as f64
+}
+
+#[test]
+fn norway_matches_3g_calibration_targets() {
+    let traces = corpus(Dataset::Norway);
+    let s = corpus_stats(&traces);
+    assert!((1.6..=2.6).contains(&s.mean), "mean {}", s.mean);
+    assert!((0.9..=1.8).contains(&s.std), "std {}", s.std);
+    assert!(s.min >= 0.0);
+    assert!(s.max <= 6.5, "max {}", s.max);
+    // Commute-path outages: a visible but minor fraction of dead slots.
+    let outage = frac_below(&traces, 0.1);
+    assert!((0.005..=0.15).contains(&outage), "outage fraction {outage}");
+}
+
+#[test]
+fn belgium_matches_lte_calibration_targets() {
+    let traces = corpus(Dataset::Belgium);
+    let s = corpus_stats(&traces);
+    assert!((22.0..=42.0).contains(&s.mean), "mean {}", s.mean);
+    assert!(s.std >= 10.0, "std {}", s.std);
+    assert!(s.min >= 0.0);
+    assert!(s.max <= 65.0, "max {}", s.max);
+    // Bimodal low/high split: real mass on both sides of the mid band.
+    let low = frac_below(&traces, 20.0);
+    let high = 1.0 - frac_below(&traces, 40.0);
+    assert!(low > 0.1, "low-regime mass {low}");
+    assert!(high > 0.1, "high-regime mass {high}");
+}
+
+/// The property the whole substitution hinges on (DESIGN.md §2.2): the
+/// mobile-like corpora are temporally correlated, the synthetic ones are
+/// not, and the two "real" distributions differ from each other.
+#[test]
+fn mobile_corpora_are_correlated_and_mutually_different() {
+    let norway = corpus(Dataset::Norway);
+    let belgium = corpus(Dataset::Belgium);
+    assert!(
+        mean_lag1(&norway) > 0.7,
+        "norway lag1 {}",
+        mean_lag1(&norway)
+    );
+    assert!(
+        mean_lag1(&belgium) > 0.7,
+        "belgium lag1 {}",
+        mean_lag1(&belgium)
+    );
+    // An order of magnitude apart in mean rate — mutually OOD.
+    assert!(corpus_stats(&belgium).mean > 5.0 * corpus_stats(&norway).mean);
+}
+
+#[test]
+fn synthetic_corpora_are_iid_by_contrast() {
+    for d in [
+        Dataset::Gamma12,
+        Dataset::Gamma22,
+        Dataset::Logistic,
+        Dataset::Exp,
+    ] {
+        let traces = d.generate(10, 2_000, 42);
+        let lag1 = mean_lag1(&traces);
+        assert!(lag1.abs() < 0.05, "{}: lag1 {lag1}", d.name());
+    }
+}

@@ -1,0 +1,144 @@
+//! Moment-matching statistical tests for the four i.i.d. samplers
+//! (acceptance criterion: sample mean and variance within 3σ of the
+//! closed-form values over ≥ 100k samples).
+//!
+//! The 3σ bands use the exact asymptotic standard errors:
+//! `SE(mean) = σ/√n` and `SE(s²) = √((μ₄ − σ⁴)/n)`, with the fourth
+//! central moment μ₄ from the closed forms — Gamma(k, θ):
+//! `μ₄ = 3k(k+2)θ⁴`; Logistic (excess kurtosis 6/5): `μ₄ = 4.2 σ⁴`;
+//! Exponential (excess kurtosis 6): `μ₄ = 9/λ⁴`. Seeds are fixed, so
+//! these are deterministic regression tests, not flaky coin flips.
+
+use osa_nn::rng::Rng;
+use osa_trace::samplers;
+
+const N: usize = 200_000;
+
+struct Moments {
+    mean: f64,
+    var: f64,
+    mu4: f64,
+}
+
+fn check(name: &str, seed: u64, expected: Moments, mut draw: impl FnMut(&mut Rng) -> f64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let xs: Vec<f64> = (0..N).map(|_| draw(&mut rng)).collect();
+    assert!(
+        xs.iter().all(|x| x.is_finite()),
+        "{name}: non-finite sample"
+    );
+    let n = N as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+
+    let se_mean = (expected.var / n).sqrt();
+    let se_var = ((expected.mu4 - expected.var * expected.var) / n).sqrt();
+    assert!(
+        (mean - expected.mean).abs() < 3.0 * se_mean,
+        "{name}: sample mean {mean} vs {} (3σ = {})",
+        expected.mean,
+        3.0 * se_mean
+    );
+    assert!(
+        (var - expected.var).abs() < 3.0 * se_var,
+        "{name}: sample variance {var} vs {} (3σ = {})",
+        expected.var,
+        3.0 * se_var
+    );
+}
+
+#[test]
+fn gamma_1_2_moments() {
+    // Gamma(1, 2): mean kθ = 2, var kθ² = 4, μ₄ = 3·1·3·2⁴ = 144.
+    check(
+        "gamma(1,2)",
+        101,
+        Moments {
+            mean: 2.0,
+            var: 4.0,
+            mu4: 144.0,
+        },
+        |rng| samplers::gamma(rng, 1.0, 2.0),
+    );
+}
+
+#[test]
+fn gamma_2_2_moments() {
+    // Gamma(2, 2): mean 4, var 8, μ₄ = 3·2·4·2⁴ = 384.
+    check(
+        "gamma(2,2)",
+        102,
+        Moments {
+            mean: 4.0,
+            var: 8.0,
+            mu4: 384.0,
+        },
+        |rng| samplers::gamma(rng, 2.0, 2.0),
+    );
+}
+
+#[test]
+fn gamma_small_shape_moments() {
+    // The shape < 1 boost path: Gamma(0.5, 2): mean 1, var 2,
+    // μ₄ = 3·0.5·2.5·2⁴ = 60.
+    check(
+        "gamma(0.5,2)",
+        103,
+        Moments {
+            mean: 1.0,
+            var: 2.0,
+            mu4: 60.0,
+        },
+        |rng| samplers::gamma(rng, 0.5, 2.0),
+    );
+}
+
+#[test]
+fn logistic_4_05_moments() {
+    // Logistic(4, 0.5): mean 4, var s²π²/3, μ₄ = 4.2 var².
+    let var = 0.25 * std::f64::consts::PI.powi(2) / 3.0;
+    check(
+        "logistic(4,0.5)",
+        104,
+        Moments {
+            mean: 4.0,
+            var,
+            mu4: 4.2 * var * var,
+        },
+        |rng| samplers::logistic(rng, 4.0, 0.5),
+    );
+}
+
+#[test]
+fn exponential_1_moments() {
+    // Exp(1): mean 1, var 1, μ₄ = 9.
+    check(
+        "exp(1)",
+        105,
+        Moments {
+            mean: 1.0,
+            var: 1.0,
+            mu4: 9.0,
+        },
+        |rng| samplers::exponential(rng, 1.0),
+    );
+}
+
+/// The Kolmogorov–Smirnov-style sanity check nobody regrets having: the
+/// empirical CDF at the known quartiles must sit near 25/50/75%.
+#[test]
+fn quantile_functions_invert_the_samplers() {
+    let mut rng = Rng::seed_from_u64(106);
+    let n = 100_000;
+    let xs: Vec<f64> = (0..n)
+        .map(|_| samplers::logistic(&mut rng, 4.0, 0.5))
+        .collect();
+    for (q, p) in [(0.25, 0.25), (0.5, 0.5), (0.75, 0.75)] {
+        let x_q = samplers::logistic_quantile(q, 4.0, 0.5);
+        let frac = xs.iter().filter(|&&x| x <= x_q).count() as f64 / n as f64;
+        assert!(
+            (frac - p).abs() < 0.01,
+            "P(X <= F⁻¹({q})) = {frac}, expected ≈ {p}"
+        );
+    }
+}

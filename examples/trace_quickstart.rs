@@ -1,0 +1,117 @@
+//! End-to-end tour of the `osa-trace` dataset stack, asserting its
+//! contracts as it goes (this runs in CI as a determinism gate):
+//! generate all six corpora, split them 70/30(+validation), fault-inject
+//! a test trace, cache a corpus to JSON, and reload it bit-for-bit.
+//!
+//! ```sh
+//! cargo run --release --example trace_quickstart
+//! ```
+
+use osa::trace::prelude::*;
+use osa::trace::trace::corpus_stats;
+
+const COUNT: usize = 20;
+const LEN: usize = 600;
+const SEED: u64 = 42;
+
+fn main() {
+    let start = std::time::Instant::now();
+
+    // 1. Generate + split each of the paper's six datasets.
+    println!("dataset        n  train/val/test     mean     std     min      max   lag1");
+    for dataset in Dataset::ALL {
+        let split = Split::generate(dataset, COUNT, LEN, SEED);
+        assert_eq!(split.len(), COUNT, "{dataset}: split lost traces");
+        let all: Vec<Trace> = split
+            .train
+            .iter()
+            .chain(&split.validation)
+            .chain(&split.test)
+            .cloned()
+            .collect();
+        assert!(
+            all.iter().all(Trace::is_wellformed),
+            "{dataset}: malformed trace"
+        );
+        let s = corpus_stats(&all);
+        let lag1 = all.iter().map(|t| t.autocorr_lag1()).sum::<f64>() / all.len() as f64;
+        println!(
+            "{:12} {:3}  {:2}/{:2}/{:2}        {:7.3} {:7.3} {:7.3} {:8.3} {:+.3}",
+            dataset.name(),
+            COUNT,
+            split.train.len(),
+            split.validation.len(),
+            split.test.len(),
+            s.mean,
+            s.std,
+            s.min,
+            s.max,
+            lag1
+        );
+        // The substitution's load-bearing property: mobile-like corpora
+        // are temporally correlated, synthetic ones are i.i.d.
+        if dataset.is_empirical_like() {
+            assert!(lag1 > 0.5, "{dataset}: expected temporal correlation");
+        } else {
+            assert!(lag1.abs() < 0.1, "{dataset}: expected i.i.d. samples");
+        }
+    }
+
+    // 2. Fault-inject a test trace (robustness experiments do this to a
+    // cached corpus without regenerating it).
+    let split = Split::generate(Dataset::Norway, COUNT, LEN, SEED);
+    let base = &split.test[0];
+    let faulted = inject(
+        base,
+        &[
+            Fault::Outage {
+                start: 100,
+                duration: 30,
+            },
+            Fault::Spike {
+                start: 300,
+                duration: 50,
+                factor: 3.0,
+            },
+            Fault::RateLimit { cap_mbps: 4.0 },
+        ],
+    );
+    assert!(faulted.is_wellformed());
+    assert!(faulted.mbps[110] == 0.0, "outage window must be dead");
+    assert!(
+        faulted.mbps.iter().all(|&x| x <= 4.0),
+        "rate limit must cap"
+    );
+    println!(
+        "\nfault injection: {} -> {} (mean {:.3} -> {:.3} Mbit/s)",
+        base.id,
+        faulted.id,
+        base.stats().mean,
+        faulted.stats().mean
+    );
+
+    // 3. Cache to JSON and reload — the bench pipeline's warm start.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("osa_trace_quickstart_{}.json", std::process::id()));
+    save_traces(&path, &split.train).expect("cache traces");
+    let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let reloaded = load_traces(&path).expect("reload traces");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded, split.train, "cache round-trip must be bit-exact");
+    println!(
+        "cache round-trip: {} train traces, {:.1} KiB, bit-exact",
+        reloaded.len(),
+        bytes as f64 / 1024.0
+    );
+
+    // 4. Determinism gate: the same seed reproduces the same corpus and
+    // the same split membership.
+    let again = Split::generate(Dataset::Norway, COUNT, LEN, SEED);
+    assert_eq!(again.train, split.train, "regeneration diverged");
+    assert_eq!(again.test, split.test, "split membership drifted");
+
+    println!(
+        "\nOK: six datasets generated, split, faulted and cached in {:.2?}",
+        start.elapsed()
+    );
+}

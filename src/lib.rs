@@ -10,7 +10,7 @@
 //! |--------|-------|--------|
 //! | [`nn`] | `osa-nn` | implemented: tensors, Dense/Conv1d, manual backprop, Adam/RMSProp/SGD, JSON persistence, seeded PRNG |
 //! | [`mdp`] | `osa-mdp` | implemented: Env/Policy/ValueFunction traits, rollouts, GAE(γ, λ), A2C trainer with A3C-style parallel workers |
-//! | [`trace`] | `osa-trace` | scaffold |
+//! | [`trace`] | `osa-trace` | implemented: six throughput datasets (Markov-modulated mobile-like + 4 i.i.d. samplers), deterministic splits, fault injection, JSON caching |
 //! | [`abr`] | `osa-abr` | scaffold |
 //! | [`pensieve`] | `osa-pensieve` | scaffold |
 //! | [`ocsvm`] | `osa-ocsvm` | scaffold |
@@ -58,6 +58,21 @@ mod tests {
         let report = train(&mut ac, &env, &cfg);
         assert_eq!(report.updates, 3);
         assert_eq!(report.env_steps, 24);
+    }
+
+    /// The facade must expose the trace dataset stack end-to-end:
+    /// generation, splitting, fault injection, and the cache codec.
+    #[test]
+    fn facade_reaches_trace() {
+        use crate::trace::prelude::*;
+
+        let split = Split::generate(Dataset::Gamma22, 10, 20, 42);
+        assert_eq!(split.len(), 10);
+        let faulted = Fault::RateLimit { cap_mbps: 1.0 }.apply(&split.test[0]);
+        assert!(faulted.is_wellformed());
+        let text = crate::trace::io::traces_to_json(&split.train).unwrap();
+        let back = crate::trace::io::traces_from_json(&text).unwrap();
+        assert_eq!(back, split.train);
     }
 
     /// Scaffolded crates are wired into the DAG even before they are
