@@ -11,6 +11,14 @@
 //! is necessarily ≈ 1×, which is a property of the hardware, not the
 //! trainer.
 //!
+//! Timing runs through the shared [`osa_bench::run_bench`] harness (one
+//! iteration = one full training run, three samples per configuration)
+//! under the [`osa_bench::counting_alloc::CountingAlloc`] global
+//! allocator, so each configuration also reports heap allocations per
+//! run — the warmup workspaces and rollout buffers; steady-state steps
+//! add nothing, which `crates/bench/tests/zero_alloc.rs` pins down
+//! exactly.
+//!
 //! ```sh
 //! cargo bench -p osa-bench --bench mdp_rollout
 //! ```
@@ -19,18 +27,23 @@
 //! training-stack performance trajectory. `OSA_BENCH_UPDATES` scales run
 //! length (default 300 gradient updates per configuration).
 
-use std::time::Instant;
-
+use osa_bench::{counting_alloc::CountingAlloc, hardware_threads, run_bench};
 use osa_mdp::envs::chain::ChainEnv;
 use osa_mdp::prelude::*;
 use osa_nn::json::{obj, Value};
 use osa_nn::rng::Rng;
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 const HIDDEN: usize = 64;
 const ROLLOUT_LEN: usize = 64;
+/// Full training runs timed per configuration (`run_bench` adds one
+/// warmup run on top).
+const SAMPLES: usize = 3;
 
-/// One full training run; returns environment steps per second.
-fn run(workers: usize, updates: usize, seed: u64) -> f64 {
+/// One full training run; returns the number of environment steps taken.
+fn run(workers: usize, updates: usize, seed: u64) -> u64 {
     let env = ChainEnv::new(8);
     let mut rng = Rng::seed_from_u64(seed);
     let mut ac = ActorCritic::mlp(env.num_states(), HIDDEN, 2, &mut rng);
@@ -42,11 +55,9 @@ fn run(workers: usize, updates: usize, seed: u64) -> f64 {
         seed,
         ..A2cConfig::default()
     };
-    let start = Instant::now();
     let report = train(&mut ac, &env, &cfg);
-    let secs = start.elapsed().as_secs_f64();
     assert_eq!(report.updates, updates as u64);
-    report.env_steps as f64 / secs
+    report.env_steps
 }
 
 fn main() {
@@ -54,30 +65,30 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(300);
-    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!(
         "chain MDP, {HIDDEN}-unit MLPs, rollout_len {ROLLOUT_LEN}, {updates} updates per config, \
-         {hardware_threads} hardware thread(s)"
+         {} hardware thread(s)",
+        hardware_threads()
     );
-
-    // Warm up allocator and caches off the record.
-    run(1, updates / 4 + 1, 7);
 
     let mut results = Vec::new();
     let mut by_workers = Vec::new();
     for workers in [1usize, 2, 4] {
-        // Best of three: training throughput is noisy under schedulers.
-        let best = (0..3)
-            .map(|rep| run(workers, updates, 42 + rep))
-            .fold(f64::MIN, f64::max);
-        println!("workers {workers}: {best:>12.0} steps/sec");
-        by_workers.push(best);
-        results.push(obj(vec![
-            ("workers", Value::Num(workers as f64)),
-            ("steps_per_sec", Value::Num(best.round())),
-            ("updates", Value::Num(updates as f64)),
-            ("rollout_len", Value::Num(ROLLOUT_LEN as f64)),
-        ]));
+        let env_steps = (updates * ROLLOUT_LEN) as f64;
+        let stats = run_bench(&format!("train_workers{workers}"), SAMPLES, || {
+            std::hint::black_box(run(workers, updates, 42));
+        });
+        let steps_per_sec = env_steps / (stats.median_ns as f64 * 1e-9);
+        println!("workers {workers}: {steps_per_sec:>12.0} steps/sec");
+        by_workers.push(steps_per_sec);
+        let mut entry = stats.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert("workers".into(), Value::Num(workers as f64));
+            map.insert("steps_per_sec".into(), Value::Num(steps_per_sec.round()));
+            map.insert("updates".into(), Value::Num(updates as f64));
+            map.insert("rollout_len".into(), Value::Num(ROLLOUT_LEN as f64));
+        }
+        results.push(entry);
     }
 
     let single = by_workers[0];
@@ -89,7 +100,7 @@ fn main() {
         ("bench", Value::Str("mdp_rollout".into())),
         ("env", Value::Str("chain-8".into())),
         ("hidden", Value::Num(HIDDEN as f64)),
-        ("hardware_threads", Value::Num(hardware_threads as f64)),
+        ("hardware_threads", Value::Num(hardware_threads() as f64)),
         ("results", Value::Arr(results)),
         (
             "multi_worker_speedup",

@@ -2,36 +2,45 @@
 //! Pensieve-shaped actor network (per-feature Conv1d branches merged into a
 //! 128-unit dense layer, softmax head over 6 bitrates).
 //!
-//! The offline build has no `criterion`, so this is a hand-rolled harness
-//! (`harness = false`): per-iteration wall-clock sampling with warmup,
-//! reporting mean / median / p95. Run with
+//! The offline build has no `criterion`, so this uses the hand-rolled
+//! harness in `osa_bench::run_bench` (`harness = false`): per-iteration
+//! wall-clock sampling with warmup, reporting mean / median / p95 plus
+//! heap allocations per iteration (the process runs under
+//! [`osa_bench::counting_alloc::CountingAlloc`]). Run with
 //!
 //! ```sh
 //! cargo bench -p osa-bench
 //! ```
 //!
-//! which rewrites `BENCH_nn.json` at the repo root — the baseline later
-//! performance PRs are measured against. Sample counts can be scaled with
-//! the env var `OSA_BENCH_SAMPLES` (default 200).
+//! which rewrites `BENCH_nn.json` at the repo root — the baseline the
+//! `bench_compare` gate measures later PRs against. Sample counts can be
+//! scaled with the env var `OSA_BENCH_SAMPLES` (default 200).
+//!
+//! The actor exercises the zero-allocation hot path end to end: ReLUs are
+//! fused into their producing layers (`with_act`), every intermediate
+//! lives in a shared [`Workspace`], and the branch concat/split runs
+//! through reusable buffers — so after warmup the steady state performs
+//! no heap allocation (visible in the `allocs_per_iter` column).
 
-use std::time::Instant;
-
+use osa_bench::{counting_alloc::CountingAlloc, hardware_threads, run_bench, BenchStats};
 use osa_nn::json::{obj, Value};
 use osa_nn::prelude::*;
+use osa_nn::tensor::Act;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The Pensieve actor: three Conv1d feature branches + a scalar branch,
 /// concatenated into a dense merge. `Sequential` is a linear chain, so the
 /// branch fan-in is composed explicitly here — exactly how
 /// `osa-pensieve` will build it.
 struct PensieveActor {
-    conv_throughput: Conv1d, // (1 x 8) history -> 128 filters, kernel 4
-    conv_delay: Conv1d,      // (1 x 8) history -> 128 filters, kernel 4
-    conv_sizes: Conv1d,      // (1 x 6) next-chunk sizes -> 128 filters, kernel 4
-    dense_scalars: Dense,    // buffer, chunks-left, last bitrate -> 128
-    relu_branches: [ReLU; 4],
-    merge: Dense, // concat -> 128
-    relu_merge: ReLU,
-    head: Dense, // 128 -> 6 bitrates
+    conv_throughput: Conv1d, // (1 x 8) history -> 128 filters, kernel 4, fused ReLU
+    conv_delay: Conv1d,      // (1 x 8) history -> 128 filters, kernel 4, fused ReLU
+    conv_sizes: Conv1d,      // (1 x 6) next-chunk sizes -> 128 filters, kernel 4, fused ReLU
+    dense_scalars: Dense,    // buffer, chunks-left, last bitrate -> 128, fused ReLU
+    merge: Dense,            // concat -> 128, fused ReLU
+    head: Dense,             // 128 -> 6 bitrates
     softmax: Softmax,
 }
 
@@ -45,10 +54,13 @@ const ACTIONS: usize = 6;
 
 impl PensieveActor {
     fn new(rng: &mut Rng) -> Self {
-        let conv_throughput = Conv1d::new(1, HIST, FILTERS, KERNEL, Init::HeUniform, rng);
-        let conv_delay = Conv1d::new(1, HIST, FILTERS, KERNEL, Init::HeUniform, rng);
-        let conv_sizes = Conv1d::new(1, SIZES, FILTERS, KERNEL, Init::HeUniform, rng);
-        let dense_scalars = Dense::new(SCALARS, MERGE, Init::HeUniform, rng);
+        let conv_throughput =
+            Conv1d::new(1, HIST, FILTERS, KERNEL, Init::HeUniform, rng).with_act(Act::Relu);
+        let conv_delay =
+            Conv1d::new(1, HIST, FILTERS, KERNEL, Init::HeUniform, rng).with_act(Act::Relu);
+        let conv_sizes =
+            Conv1d::new(1, SIZES, FILTERS, KERNEL, Init::HeUniform, rng).with_act(Act::Relu);
+        let dense_scalars = Dense::new(SCALARS, MERGE, Init::HeUniform, rng).with_act(Act::Relu);
         let merge_in =
             conv_throughput.out_dim() + conv_delay.out_dim() + conv_sizes.out_dim() + MERGE;
         PensieveActor {
@@ -56,46 +68,83 @@ impl PensieveActor {
             conv_delay,
             conv_sizes,
             dense_scalars,
-            relu_branches: Default::default(),
-            merge: Dense::new(merge_in, MERGE, Init::HeUniform, rng),
-            relu_merge: ReLU::new(),
+            merge: Dense::new(merge_in, MERGE, Init::HeUniform, rng).with_act(Act::Relu),
             head: Dense::new(MERGE, ACTIONS, Init::XavierUniform, rng),
             softmax: Softmax::new(),
         }
     }
 
-    fn forward(&mut self, state: &PensieveState) -> Tensor {
-        let a = self.relu_branches[0].forward(&self.conv_throughput.forward(&state.throughput));
-        let b = self.relu_branches[1].forward(&self.conv_delay.forward(&state.delay));
-        let c = self.relu_branches[2].forward(&self.conv_sizes.forward(&state.sizes));
-        let d = self.relu_branches[3].forward(&self.dense_scalars.forward(&state.scalars));
-        let merged = concat_cols(&[&a, &b, &c, &d]);
-        let m = self.relu_merge.forward(&self.merge.forward(&merged));
-        self.softmax.forward(&self.head.forward(&m))
-    }
-
-    /// One training-style backward pass: policy-gradient-shaped upstream
-    /// gradient through the softmax head and every branch.
-    fn backward(&mut self, grad_probs: &Tensor) {
-        let g = self.softmax.backward(grad_probs);
-        let g = self.head.backward(&g);
-        let g = self.relu_merge.backward(&g);
-        let g = self.merge.backward(&g);
-        let widths = [
+    fn branch_widths(&self) -> [usize; 4] {
+        [
             self.conv_throughput.out_dim(),
             self.conv_delay.out_dim(),
             self.conv_sizes.out_dim(),
             MERGE,
-        ];
-        let parts = split_cols(&g, &widths);
-        let g0 = self.relu_branches[0].backward(&parts[0]);
-        self.conv_throughput.backward(&g0);
-        let g1 = self.relu_branches[1].backward(&parts[1]);
-        self.conv_delay.backward(&g1);
-        let g2 = self.relu_branches[2].backward(&parts[2]);
-        self.conv_sizes.backward(&g2);
-        let g3 = self.relu_branches[3].backward(&parts[3]);
-        self.dense_scalars.backward(&g3);
+        ]
+    }
+
+    fn forward_ws(&mut self, state: &PensieveState, ws: &mut Workspace) -> Tensor {
+        let a = self.conv_throughput.forward_ws(&state.throughput, ws);
+        let b = self.conv_delay.forward_ws(&state.delay, ws);
+        let c = self.conv_sizes.forward_ws(&state.sizes, ws);
+        let d = self.dense_scalars.forward_ws(&state.scalars, ws);
+        let merged = concat_cols(&[&a, &b, &c, &d], ws);
+        ws.recycle(a);
+        ws.recycle(b);
+        ws.recycle(c);
+        ws.recycle(d);
+        let m = self.merge.forward_ws(&merged, ws);
+        ws.recycle(merged);
+        let h = self.head.forward_ws(&m, ws);
+        ws.recycle(m);
+        let probs = self.softmax.forward_ws(&h, ws);
+        ws.recycle(h);
+        probs
+    }
+
+    /// One training-style backward pass: policy-gradient-shaped upstream
+    /// gradient through the softmax head and every branch.
+    fn backward_ws(&mut self, grad_probs: &Tensor, ws: &mut Workspace) {
+        let g = self.softmax.backward_ws(grad_probs, ws);
+        let g2 = self.head.backward_ws(&g, ws);
+        ws.recycle(g);
+        let g3 = self.merge.backward_ws(&g2, ws);
+        ws.recycle(g2);
+        let widths = self.branch_widths();
+        let mut off = 0;
+        for (i, &w) in widths.iter().enumerate() {
+            let mut part = ws.take(g3.rows(), w);
+            for r in 0..g3.rows() {
+                part.row_mut(r).copy_from_slice(&g3.row(r)[off..off + w]);
+            }
+            let gi = match i {
+                0 => self.conv_throughput.backward_ws(&part, ws),
+                1 => self.conv_delay.backward_ws(&part, ws),
+                2 => self.conv_sizes.backward_ws(&part, ws),
+                _ => self.dense_scalars.backward_ws(&part, ws),
+            };
+            ws.recycle(gi);
+            ws.recycle(part);
+            off += w;
+        }
+        ws.recycle(g3);
+    }
+
+    /// Analytic floating-point operation count of one forward pass at the
+    /// given batch size (multiply-adds counted as 2 FLOPs; bias and
+    /// activation traffic ignored — they are two orders of magnitude
+    /// below the GEMMs).
+    fn forward_flops(&self, batch: usize) -> f64 {
+        let conv = |out_ch: usize, out_len: usize, in_ch: usize| {
+            (batch * out_ch * out_len * in_ch * KERNEL * 2) as f64
+        };
+        let dense = |k: usize, n: usize| (batch * k * n * 2) as f64;
+        conv(FILTERS, self.conv_throughput.out_len(), 1)
+            + conv(FILTERS, self.conv_delay.out_len(), 1)
+            + conv(FILTERS, self.conv_sizes.out_len(), 1)
+            + dense(SCALARS, MERGE)
+            + dense(self.branch_widths().iter().sum(), MERGE)
+            + dense(MERGE, ACTIONS)
     }
 }
 
@@ -121,10 +170,10 @@ impl PensieveState {
     }
 }
 
-fn concat_cols(parts: &[&Tensor]) -> Tensor {
+fn concat_cols(parts: &[&Tensor], ws: &mut Workspace) -> Tensor {
     let rows = parts[0].rows();
     let cols: usize = parts.iter().map(|p| p.cols()).sum();
-    let mut out = Tensor::zeros(rows, cols);
+    let mut out = ws.take(rows, cols);
     for r in 0..rows {
         let orow = out.row_mut(r);
         let mut off = 0;
@@ -136,51 +185,14 @@ fn concat_cols(parts: &[&Tensor]) -> Tensor {
     out
 }
 
-fn split_cols(t: &Tensor, widths: &[usize]) -> Vec<Tensor> {
-    let mut out = Vec::with_capacity(widths.len());
-    let mut off = 0;
-    for &w in widths {
-        let mut part = Tensor::zeros(t.rows(), w);
-        for r in 0..t.rows() {
-            part.row_mut(r).copy_from_slice(&t.row(r)[off..off + w]);
-        }
-        out.push(part);
-        off += w;
+/// Attach a derived MFLOP/s throughput column to a result entry.
+fn with_mflops(stats: &BenchStats, flops: f64) -> Value {
+    let mut entry = stats.to_json();
+    if let Value::Obj(map) = &mut entry {
+        let mflops = flops / (stats.median_ns as f64 * 1e-9) / 1e6;
+        map.insert("mflops".into(), Value::Num(mflops.round()));
     }
-    out
-}
-
-/// Time `f` once per sample after `warmup` unrecorded runs; returns
-/// per-sample nanoseconds, sorted ascending.
-fn sample_ns(samples: usize, warmup: usize, mut f: impl FnMut()) -> Vec<u64> {
-    for _ in 0..warmup {
-        f();
-    }
-    let mut out = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        f();
-        out.push(start.elapsed().as_nanos() as u64);
-    }
-    out.sort_unstable();
-    out
-}
-
-fn summarize(name: &str, ns: &[u64]) -> Value {
-    let mean = ns.iter().sum::<u64>() as f64 / ns.len() as f64;
-    let median = ns[ns.len() / 2];
-    let p95 = ns[(ns.len() as f64 * 0.95) as usize - 1];
-    println!(
-        "{name:<28} mean {:>10.0} ns   median {:>10} ns   p95 {:>10} ns",
-        mean, median, p95
-    );
-    obj(vec![
-        ("name", Value::Str(name.into())),
-        ("mean_ns", Value::Num(mean.round())),
-        ("median_ns", Value::Num(median as f64)),
-        ("p95_ns", Value::Num(p95 as f64)),
-        ("samples", Value::Num(ns.len() as f64)),
-    ])
+    entry
 }
 
 fn main() {
@@ -188,9 +200,9 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
-    let warmup = samples / 4 + 1;
     let mut rng = Rng::seed_from_u64(42);
     let mut actor = PensieveActor::new(&mut rng);
+    let mut ws = Workspace::new();
     println!("pensieve actor: conv branches {FILTERS}x{KERNEL}, merge {MERGE}, {ACTIONS} actions");
 
     let mut results = Vec::new();
@@ -198,13 +210,16 @@ fn main() {
     // Per-decision inference latency: batch of one state, what the online
     // SafeAgent pays on every chunk decision.
     let state1 = PensieveState::random(1, &mut rng);
-    let ns = sample_ns(samples, warmup, || {
-        let probs = actor.forward(&state1);
-        std::hint::black_box(probs);
+    let stats = run_bench("actor_forward_batch1", samples, || {
+        let probs = actor.forward_ws(&state1, &mut ws);
+        std::hint::black_box(&probs);
+        ws.recycle(probs);
     });
-    results.push(summarize("actor_forward_batch1", &ns));
+    results.push(with_mflops(&stats, actor.forward_flops(1)));
 
     // Training step shape: batch of 32 states, forward + full backward.
+    // Backward runs two GEMMs (dW, dX) for every forward GEMM, so the
+    // pass costs roughly 3x the forward FLOPs.
     let state32 = PensieveState::random(32, &mut rng);
     let upstream = {
         let data = (0..32 * ACTIONS)
@@ -212,16 +227,18 @@ fn main() {
             .collect();
         Tensor::from_vec(32, ACTIONS, data)
     };
-    let ns = sample_ns(samples, warmup, || {
-        let probs = actor.forward(&state32);
+    let stats = run_bench("actor_fwd_bwd_batch32", samples, || {
+        let probs = actor.forward_ws(&state32, &mut ws);
         std::hint::black_box(&probs);
-        actor.backward(&upstream);
+        ws.recycle(probs);
+        actor.backward_ws(&upstream, &mut ws);
     });
-    results.push(summarize("actor_fwd_bwd_batch32", &ns));
+    results.push(with_mflops(&stats, 3.0 * actor.forward_flops(32)));
 
     let report = obj(vec![
         ("bench", Value::Str("nn_forward_backward".into())),
         ("seed", Value::Num(42.0)),
+        ("hardware_threads", Value::Num(hardware_threads() as f64)),
         ("results", Value::Arr(results)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");

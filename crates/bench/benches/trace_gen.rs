@@ -4,6 +4,9 @@
 //! Two numbers per dataset: generation rate (traces/sec and million
 //! samples/sec — the cost of a cold bench-pipeline start) and JSON cache
 //! bandwidth (MB/s serialize and parse — the cost of every warm start).
+//! Timing runs through the shared [`osa_bench::run_bench`] harness
+//! (three samples per stage, best-of handled by the median) under the
+//! [`osa_bench::counting_alloc::CountingAlloc`] global allocator.
 //!
 //! ```sh
 //! cargo bench -p osa-bench --bench trace_gen
@@ -12,13 +15,17 @@
 //! rewrites `BENCH_trace.json` at the repo root. `OSA_BENCH_TRACES`
 //! scales the corpus size (default 20 traces × 3000 samples per dataset).
 
-use std::time::Instant;
-
+use osa_bench::{counting_alloc::CountingAlloc, hardware_threads, run_bench};
 use osa_nn::json::{obj, Value};
 use osa_trace::io;
 use osa_trace::prelude::*;
 
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
 const TRACE_LEN: usize = 3_000;
+/// Timed repetitions per stage (`run_bench` adds one warmup on top).
+const SAMPLES: usize = 3;
 
 fn main() {
     let count: usize = std::env::var("OSA_BENCH_TRACES")
@@ -27,42 +34,29 @@ fn main() {
         .unwrap_or(20);
     println!("trace generation: {count} traces x {TRACE_LEN} samples per dataset");
 
-    // Warm up allocator and code paths off the record.
-    Dataset::Gamma12.generate(2, TRACE_LEN, 1);
-
     let mut results = Vec::new();
     for dataset in Dataset::ALL {
-        // Best of three: generation is allocation-heavy and scheduler
-        // noise on shared runners is real.
-        let mut best_gen_s = f64::MAX;
         let mut traces = Vec::new();
-        for rep in 0..3 {
-            let start = Instant::now();
-            traces = dataset.generate(count, TRACE_LEN, 42 + rep);
-            best_gen_s = best_gen_s.min(start.elapsed().as_secs_f64());
-        }
+        let gen = run_bench(&format!("{}_generate", dataset.name()), SAMPLES, || {
+            traces = dataset.generate(count, TRACE_LEN, 42);
+        });
+        let gen_s = gen.median_ns as f64 * 1e-9;
         let samples = (count * TRACE_LEN) as f64;
-        let traces_per_sec = count as f64 / best_gen_s;
-        let msamples_per_sec = samples / best_gen_s / 1e6;
+        let traces_per_sec = count as f64 / gen_s;
+        let msamples_per_sec = samples / gen_s / 1e6;
 
         let mut text = String::new();
-        let mut best_ser_s = f64::MAX;
-        for _ in 0..3 {
-            let start = Instant::now();
+        let ser = run_bench(&format!("{}_serialize", dataset.name()), SAMPLES, || {
             text = io::traces_to_json(&traces).expect("generated traces are finite");
-            best_ser_s = best_ser_s.min(start.elapsed().as_secs_f64());
-        }
+        });
         let mb = text.len() as f64 / 1e6;
-        let ser_mb_per_sec = mb / best_ser_s;
+        let ser_mb_per_sec = mb / (ser.median_ns as f64 * 1e-9);
 
-        let mut best_parse_s = f64::MAX;
-        for _ in 0..3 {
-            let start = Instant::now();
+        let parse = run_bench(&format!("{}_parse", dataset.name()), SAMPLES, || {
             let loaded = io::traces_from_json(&text).expect("roundtrip");
-            best_parse_s = best_parse_s.min(start.elapsed().as_secs_f64());
             assert_eq!(loaded.len(), traces.len());
-        }
-        let parse_mb_per_sec = mb / best_parse_s;
+        });
+        let parse_mb_per_sec = mb / (parse.median_ns as f64 * 1e-9);
 
         println!(
             "{:12} {:>9.0} traces/s  {:>7.2} Msamples/s  serialize {:>7.1} MB/s  parse {:>7.1} MB/s ({:.2} MB)",
@@ -73,7 +67,7 @@ fn main() {
             parse_mb_per_sec,
             mb
         );
-        results.push(obj(vec![
+        let mut entry = obj(vec![
             ("dataset", Value::Str(dataset.name().into())),
             ("traces_per_sec", Value::Num(traces_per_sec.round())),
             (
@@ -89,13 +83,20 @@ fn main() {
                 Value::Num((parse_mb_per_sec * 10.0).round() / 10.0),
             ),
             ("serialized_mb", Value::Num((mb * 100.0).round() / 100.0)),
-        ]));
+        ]);
+        if let Value::Obj(map) = &mut entry {
+            map.insert("generate_ns".into(), Value::Num(gen.median_ns as f64));
+            map.insert("serialize_ns".into(), Value::Num(ser.median_ns as f64));
+            map.insert("parse_ns".into(), Value::Num(parse.median_ns as f64));
+        }
+        results.push(entry);
     }
 
     let report = obj(vec![
         ("bench", Value::Str("trace_gen".into())),
         ("traces_per_dataset", Value::Num(count as f64)),
         ("trace_len", Value::Num(TRACE_LEN as f64)),
+        ("hardware_threads", Value::Num(hardware_threads() as f64)),
         ("results", Value::Arr(results)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");

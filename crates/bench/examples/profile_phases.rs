@@ -1,0 +1,144 @@
+//! Phase profiler for the Pensieve-actor hot path: wall-clock per network
+//! stage (branch forwards, merge GEMMs, backward splits) plus the raw
+//! GEMM/transpose pieces of the merge layer's backward pass.
+//!
+//! Not a regression gate — `benches/nn_forward_backward.rs` is — but the
+//! first thing to run when the end-to-end numbers move and you need to
+//! know which stage did it:
+//!
+//! ```sh
+//! cargo run --release -p osa-bench --example profile_phases
+//! ```
+
+use osa_nn::prelude::*;
+use osa_nn::tensor::Act;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(42);
+    let mut c1 = Conv1d::new(1, 8, 128, 4, Init::HeUniform, &mut rng).with_act(Act::Relu);
+    let mut c2 = Conv1d::new(1, 8, 128, 4, Init::HeUniform, &mut rng).with_act(Act::Relu);
+    let mut c3 = Conv1d::new(1, 6, 128, 4, Init::HeUniform, &mut rng).with_act(Act::Relu);
+    let mut ds = Dense::new(3, 128, Init::HeUniform, &mut rng).with_act(Act::Relu);
+    let merge_in = c1.out_dim() + c2.out_dim() + c3.out_dim() + 128;
+    let mut merge = Dense::new(merge_in, 128, Init::HeUniform, &mut rng).with_act(Act::Relu);
+    let mut head = Dense::new(128, 6, Init::XavierUniform, &mut rng);
+    let mut sm = Softmax::new();
+
+    let rand_t = |rows: usize, cols: usize, rng: &mut Rng| {
+        let data = (0..rows * cols).map(|_| rng.range_f32(0.0, 1.0)).collect();
+        Tensor::from_vec(rows, cols, data)
+    };
+    let x1 = rand_t(32, 8, &mut rng);
+    let x2 = rand_t(32, 8, &mut rng);
+    let x3 = rand_t(32, 6, &mut rng);
+    let xs = rand_t(32, 3, &mut rng);
+    let up = rand_t(32, 6, &mut rng);
+    let mut ws = Workspace::new();
+
+    let reps = 100;
+    let mut t_convf = 0.0;
+    let mut t_mergef = 0.0;
+    let mut t_headf = 0.0;
+    let mut t_smb = 0.0;
+    let mut t_headb = 0.0;
+    let mut t_mergeb = 0.0;
+    let mut t_convb = 0.0;
+
+    for _ in 0..reps + 5 {
+        let t0 = Instant::now();
+        let a = c1.forward_ws(&x1, &mut ws);
+        let b = c2.forward_ws(&x2, &mut ws);
+        let c = c3.forward_ws(&x3, &mut ws);
+        let d = ds.forward_ws(&xs, &mut ws);
+        let t1 = Instant::now();
+        let mut merged = ws.take(32, merge_in);
+        for r in 0..32 {
+            let orow = merged.row_mut(r);
+            let mut off = 0;
+            for p in [&a, &b, &c, &d] {
+                orow[off..off + p.cols()].copy_from_slice(p.row(r));
+                off += p.cols();
+            }
+        }
+        ws.recycle(a);
+        ws.recycle(b);
+        ws.recycle(c);
+        ws.recycle(d);
+        let m = merge.forward_ws(&merged, &mut ws);
+        ws.recycle(merged);
+        let t2 = Instant::now();
+        let h = head.forward_ws(&m, &mut ws);
+        ws.recycle(m);
+        let p = sm.forward_ws(&h, &mut ws);
+        ws.recycle(h);
+        let t3 = Instant::now();
+        let g = sm.backward_ws(&up, &mut ws);
+        ws.recycle(p);
+        let t4 = Instant::now();
+        let g2 = head.backward_ws(&g, &mut ws);
+        ws.recycle(g);
+        let t5 = Instant::now();
+        let g3 = merge.backward_ws(&g2, &mut ws);
+        ws.recycle(g2);
+        let t6 = Instant::now();
+        let widths = [c1.out_dim(), c2.out_dim(), c3.out_dim(), 128];
+        let mut off = 0;
+        for (i, &w) in widths.iter().enumerate() {
+            let mut part = ws.take(32, w);
+            for r in 0..32 {
+                part.row_mut(r).copy_from_slice(&g3.row(r)[off..off + w]);
+            }
+            let gi = match i {
+                0 => c1.backward_ws(&part, &mut ws),
+                1 => c2.backward_ws(&part, &mut ws),
+                2 => c3.backward_ws(&part, &mut ws),
+                _ => ds.backward_ws(&part, &mut ws),
+            };
+            ws.recycle(gi);
+            ws.recycle(part);
+            off += w;
+        }
+        ws.recycle(g3);
+        let t7 = Instant::now();
+
+        t_convf += (t1 - t0).as_secs_f64();
+        t_mergef += (t2 - t1).as_secs_f64();
+        t_headf += (t3 - t2).as_secs_f64();
+        t_smb += (t4 - t3).as_secs_f64();
+        t_headb += (t5 - t4).as_secs_f64();
+        t_mergeb += (t6 - t5).as_secs_f64();
+        t_convb += (t7 - t6).as_secs_f64();
+    }
+    let s = 1e6 / reps as f64;
+    println!("conv+scalar fwd : {:>8.0} us", t_convf * s);
+    println!("concat+merge fwd: {:>8.0} us", t_mergef * s);
+    println!("head+softmax fwd: {:>8.0} us", t_headf * s);
+    println!("softmax bwd     : {:>8.0} us", t_smb * s);
+    println!("head bwd        : {:>8.0} us", t_headb * s);
+    println!("merge bwd       : {:>8.0} us", t_mergeb * s);
+    println!("split+branch bwd: {:>8.0} us", t_convb * s);
+
+    // Raw pieces of merge backward.
+    let g = rand_t(32, 128, &mut rng);
+    let w = rand_t(merge_in, 128, &mut rng);
+    let x = rand_t(32, merge_in, &mut rng);
+    let mut wt = Tensor::zeros(128, merge_in);
+    let mut dx = Tensor::zeros(32, merge_in);
+    let mut dw = Tensor::zeros(merge_in, 128);
+
+    let time = |label: &str, f: &mut dyn FnMut()| {
+        for _ in 0..5 {
+            f();
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        println!("{label}: {:>8.0} us", t0.elapsed().as_secs_f64() * s);
+    };
+    time("transpose w      ", &mut || w.transpose_into(&mut wt));
+    time("dx = g*wT matmul ", &mut || g.matmul_into(&wt, &mut dx));
+    time("dx matmul_t      ", &mut || g.matmul_t_into(&w, &mut dx));
+    time("dw = xT*g tmatmul", &mut || x.tmatmul_into(&g, &mut dw));
+}

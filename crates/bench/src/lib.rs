@@ -20,16 +20,148 @@
 //!
 //! The NN and MDP microbenches are implemented; their baseline numbers
 //! are recorded in `BENCH_nn.json` and `BENCH_mdp.json` at the repo root
-//! so later performance PRs have a trajectory to beat.
-#![forbid(unsafe_code)]
+//! so later performance PRs have a trajectory to beat. [`run_bench`] is
+//! the shared sampling harness, [`counting_alloc`] the heap-traffic
+//! instrument behind its `allocs_per_iter` column, and [`compare`] the
+//! regression gate (`bench_compare` binary) that diffs a fresh report
+//! against the committed baseline.
+#![deny(unsafe_code)]
 
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
-use osa_nn::json::Value;
+use osa_nn::json::{obj, Value};
 
 /// Marks the harness as scaffolded; figure binaries land with `osa-core`.
 pub const IMPLEMENTED: bool = false;
+
+/// Allocation-counting shim around the system allocator.
+///
+/// Benches (and the zero-allocation regression test) register
+/// [`counting_alloc::CountingAlloc`] as their `#[global_allocator]`; the
+/// module's free functions then read global event counters. Counters are
+/// process-wide relaxed atomics — cheap enough to leave on under timing
+/// (one `fetch_add` per heap event) but *shared across threads*, so
+/// callers measuring a window must keep that window single-threaded.
+#[allow(unsafe_code)] // a GlobalAlloc impl is irreducibly unsafe
+pub mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Forwards to [`System`], counting every alloc/realloc/dealloc.
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            DEALLOCS.fetch_add(1, Ordering::Relaxed);
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A realloc is new heap traffic even when it grows in place.
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    /// Heap allocation events (allocs + reallocs) since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Heap deallocation events since process start.
+    pub fn deallocations() -> u64 {
+        DEALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes requested from the allocator since process start.
+    pub fn allocated_bytes() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+}
+
+/// Hardware threads available to this process (1 if unknown) — recorded
+/// in every `BENCH_*.json` so baselines are comparable across hosts.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Summary statistics of one [`run_bench`] series.
+pub struct BenchStats {
+    pub name: String,
+    pub mean_ns: f64,
+    pub median_ns: u64,
+    pub p95_ns: u64,
+    pub samples: usize,
+    /// Mean heap allocation events per iteration over the measured
+    /// window. Meaningful only when [`counting_alloc::CountingAlloc`] is
+    /// the registered global allocator; reads 0.0 otherwise.
+    pub allocs_per_iter: f64,
+}
+
+impl BenchStats {
+    /// The canonical JSON shape every `BENCH_*.json` result entry uses.
+    pub fn to_json(&self) -> Value {
+        obj(vec![
+            ("name", Value::Str(self.name.clone())),
+            ("mean_ns", Value::Num(self.mean_ns.round())),
+            ("median_ns", Value::Num(self.median_ns as f64)),
+            ("p95_ns", Value::Num(self.p95_ns as f64)),
+            ("samples", Value::Num(self.samples as f64)),
+            (
+                "allocs_per_iter",
+                Value::Num((self.allocs_per_iter * 100.0).round() / 100.0),
+            ),
+        ])
+    }
+}
+
+/// Shared sampling harness for all `benches/` binaries: run `f` for
+/// `samples/4 + 1` unrecorded warmup iterations, then time `samples`
+/// recorded ones, print a one-line summary, and return the stats
+/// (mean / median / p95 wall-clock plus allocations per iteration).
+pub fn run_bench(name: &str, samples: usize, mut f: impl FnMut()) -> BenchStats {
+    assert!(samples > 0, "need at least one sample");
+    for _ in 0..samples / 4 + 1 {
+        f();
+    }
+    let mut ns = Vec::with_capacity(samples);
+    let allocs_before = counting_alloc::allocations();
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        ns.push(start.elapsed().as_nanos() as u64);
+    }
+    let allocs_per_iter = (counting_alloc::allocations() - allocs_before) as f64 / samples as f64;
+    ns.sort_unstable();
+    let mean = ns.iter().sum::<u64>() as f64 / ns.len() as f64;
+    let median = ns[ns.len() / 2];
+    let p95 = ns[((ns.len() as f64 * 0.95) as usize).saturating_sub(1)];
+    println!(
+        "{name:<28} mean {mean:>10.0} ns   median {median:>10} ns   p95 {p95:>10} ns   \
+         allocs/iter {allocs_per_iter:>8.1}"
+    );
+    BenchStats {
+        name: name.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        p95_ns: p95,
+        samples,
+        allocs_per_iter,
+    }
+}
 
 /// Replace every non-finite number in a JSON document with `null`,
 /// recursively.
@@ -57,6 +189,105 @@ pub fn write_report<P: AsRef<Path>>(path: P, report: Value) -> io::Result<()> {
         .try_to_json()
         .expect("sanitize leaves only finite numbers");
     std::fs::write(path, text + "\n")
+}
+
+/// The regression gate behind the `bench_compare` binary: diff a freshly
+/// generated `BENCH_*.json` against the committed baseline and flag
+/// latency metrics that got meaningfully worse.
+pub mod compare {
+    use std::collections::BTreeMap;
+
+    use osa_nn::json::Value;
+
+    /// Latency regressions beyond `baseline × (1 + TOLERANCE)` fail the
+    /// gate. 25% is deliberately loose: it must swallow scheduler noise on
+    /// shared runners while still catching a kernel that lost its
+    /// blocking or a hot path that started allocating.
+    pub const TOLERANCE: f64 = 0.25;
+
+    /// Is this JSON key a gated metric? Latency columns (`*_ns`) and the
+    /// allocation counter are gated; throughput columns are informational
+    /// (they move inversely with the latencies anyway).
+    fn gated(key: &str) -> bool {
+        key.ends_with("_ns") || key == "allocs_per_iter"
+    }
+
+    /// A label that identifies a result entry across runs, independent of
+    /// its position in the report.
+    fn label(map: &BTreeMap<String, Value>) -> Option<String> {
+        for key in ["name", "dataset", "workers", "bench"] {
+            match map.get(key) {
+                Some(Value::Str(s)) => return Some(format!("{key}={s}")),
+                Some(Value::Num(n)) => return Some(format!("{key}={n}")),
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Flatten every gated metric in a report into `path → value`.
+    pub fn collect_metrics(doc: &Value, prefix: &str, out: &mut BTreeMap<String, f64>) {
+        match doc {
+            Value::Obj(map) => {
+                let prefix = match label(map) {
+                    Some(l) => format!("{prefix}/{l}"),
+                    None => prefix.to_string(),
+                };
+                for (key, child) in map {
+                    match child {
+                        Value::Num(n) if gated(key) => {
+                            out.insert(format!("{prefix}/{key}"), *n);
+                        }
+                        _ => collect_metrics(child, &prefix, out),
+                    }
+                }
+            }
+            Value::Arr(items) => {
+                for item in items {
+                    collect_metrics(item, prefix, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Compare `current` against `baseline`; each returned string is one
+    /// human-readable regression. Empty means the gate passes.
+    ///
+    /// Rules, per gated metric:
+    /// - `*_ns`: fail when `current > baseline × (1 + TOLERANCE)`;
+    /// - `allocs_per_iter`: fail when
+    ///   `current > baseline × (1 + TOLERANCE) + 0.5` — the additive slack
+    ///   keeps a 0 → 0.4 counting wobble from tripping a zero baseline,
+    ///   while 0 → 1 (a new steady-state allocation) still fails;
+    /// - a metric present in the baseline but missing from the current
+    ///   report fails (renaming a bench must update the baseline too).
+    pub fn compare_reports(baseline: &Value, current: &Value) -> Vec<String> {
+        let mut base = BTreeMap::new();
+        let mut cur = BTreeMap::new();
+        collect_metrics(baseline, "", &mut base);
+        collect_metrics(current, "", &mut cur);
+
+        let mut regressions = Vec::new();
+        for (key, &b) in &base {
+            let Some(&c) = cur.get(key) else {
+                regressions.push(format!("{key}: present in baseline but missing now"));
+                continue;
+            };
+            let limit = if key.ends_with("allocs_per_iter") {
+                b * (1.0 + TOLERANCE) + 0.5
+            } else {
+                b * (1.0 + TOLERANCE)
+            };
+            if c > limit {
+                regressions.push(format!(
+                    "{key}: {c:.0} exceeds baseline {b:.0} by more than {:.0}%",
+                    TOLERANCE * 100.0
+                ));
+            }
+        }
+        regressions
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +332,86 @@ mod tests {
             clean.try_to_json().unwrap(),
             "{\"results\":[null,{\"x\":null},2.5]}"
         );
+    }
+
+    #[test]
+    fn run_bench_reports_requested_samples() {
+        let mut n = 0u64;
+        let stats = run_bench("noop", 8, || {
+            n += 1;
+        });
+        assert_eq!(stats.samples, 8);
+        assert!(n >= 8, "warmup plus samples must all run");
+        assert!(stats.median_ns <= stats.p95_ns);
+        // No global allocator shim is registered in unit tests, so the
+        // counter must honestly read zero rather than garbage.
+        assert_eq!(stats.allocs_per_iter, 0.0);
+    }
+
+    #[test]
+    fn bench_stats_json_has_the_gated_columns() {
+        let stats = run_bench("shape", 2, || {});
+        let mut metrics = std::collections::BTreeMap::new();
+        compare::collect_metrics(&stats.to_json(), "", &mut metrics);
+        assert!(metrics.contains_key("/name=shape/mean_ns"));
+        assert!(metrics.contains_key("/name=shape/median_ns"));
+        assert!(metrics.contains_key("/name=shape/p95_ns"));
+        assert!(metrics.contains_key("/name=shape/allocs_per_iter"));
+    }
+
+    fn sample_report(median: f64, allocs: f64) -> Value {
+        obj(vec![
+            ("bench", Value::Str("demo".into())),
+            (
+                "results",
+                Value::Arr(vec![obj(vec![
+                    ("name", Value::Str("kernel".into())),
+                    ("median_ns", Value::Num(median)),
+                    ("allocs_per_iter", Value::Num(allocs)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = sample_report(1240.0, 0.4);
+        assert_eq!(compare::compare_reports(&base, &cur), Vec::<String>::new());
+    }
+
+    #[test]
+    fn compare_flags_latency_regression() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = sample_report(1300.0, 0.0);
+        let regs = compare::compare_reports(&base, &cur);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("median_ns"), "{regs:?}");
+    }
+
+    #[test]
+    fn compare_flags_new_steady_state_allocation() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = sample_report(1000.0, 1.0);
+        let regs = compare::compare_reports(&base, &cur);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("allocs_per_iter"), "{regs:?}");
+    }
+
+    #[test]
+    fn compare_flags_missing_metric() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = obj(vec![("bench", Value::Str("demo".into()))]);
+        let regs = compare::compare_reports(&base, &cur);
+        assert!(!regs.is_empty());
+        assert!(regs.iter().all(|r| r.contains("missing")), "{regs:?}");
+    }
+
+    #[test]
+    fn faster_and_leaner_never_fails_the_gate() {
+        let base = sample_report(1000.0, 5.0);
+        let cur = sample_report(10.0, 0.0);
+        assert_eq!(compare::compare_reports(&base, &cur), Vec::<String>::new());
     }
 
     #[test]

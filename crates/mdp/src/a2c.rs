@@ -32,13 +32,14 @@ use std::sync::Mutex;
 
 use osa_nn::loss;
 use osa_nn::optim::Adam;
-use osa_nn::prelude::{Dense, Init, ReLU, Sequential};
+use osa_nn::prelude::{Dense, Init, Sequential};
 use osa_nn::rng::Rng;
-use osa_nn::tensor::Tensor;
+use osa_nn::tensor::{Act, Tensor};
+use osa_nn::workspace::Workspace;
 
 use crate::env::{Env, Policy, ValueFunction};
-use crate::gae::{gae, normalize_advantages};
-use crate::rollout::Collector;
+use crate::gae::{gae_into, normalize_advantages};
+use crate::rollout::{Collector, Rollout};
 
 /// A softmax policy network and a state-value network trained together.
 ///
@@ -51,21 +52,26 @@ pub struct ActorCritic {
     pub actor: Sequential,
     /// `(batch × obs_dim) → (batch × 1)` state values.
     pub critic: Sequential,
+    /// Scratch pool for the inference paths below: after a warmup call,
+    /// `action_probs_into`/`values_into` run without heap allocation.
+    ws: Workspace,
 }
 
 impl ActorCritic {
     /// Two independent single-hidden-layer ReLU MLPs — the workhorse
-    /// shape for the in-crate environments and the CC case study.
+    /// shape for the in-crate environments and the CC case study. The
+    /// ReLU is fused into the hidden `Dense` layer's forward pass
+    /// ([`Dense::with_act`]), which is bit-identical to a standalone
+    /// `ReLU` layer but skips one full pass over the activations.
     pub fn mlp(obs_dim: usize, hidden: usize, num_actions: usize, rng: &mut Rng) -> Self {
         ActorCritic {
             actor: Sequential::new()
-                .with(Dense::new(obs_dim, hidden, Init::HeUniform, rng))
-                .with(ReLU::new())
+                .with(Dense::new(obs_dim, hidden, Init::HeUniform, rng).with_act(Act::Relu))
                 .with(Dense::new(hidden, num_actions, Init::XavierUniform, rng)),
             critic: Sequential::new()
-                .with(Dense::new(obs_dim, hidden, Init::HeUniform, rng))
-                .with(ReLU::new())
+                .with(Dense::new(obs_dim, hidden, Init::HeUniform, rng).with_act(Act::Relu))
                 .with(Dense::new(hidden, 1, Init::XavierUniform, rng)),
+            ws: Workspace::new(),
         }
     }
 
@@ -75,31 +81,74 @@ impl ActorCritic {
         ActorCritic {
             actor: Sequential::from_spec(&self.actor.to_spec()),
             critic: Sequential::from_spec(&self.critic.to_spec()),
+            ws: Workspace::new(),
         }
+    }
+
+    /// Stage `obs` as a `(1 × n)` matrix in a pooled buffer.
+    fn stage_row(&mut self, obs: &[f32]) -> Tensor {
+        let mut x = self.ws.take(1, obs.len());
+        x.row_mut(0).copy_from_slice(obs);
+        x
+    }
+}
+
+/// Row-wise max-subtracted softmax, `logits` → `probs` (same math the
+/// allocating `action_probs` always used, shared by every batched path).
+fn softmax_row(logits: &[f32], probs: &mut [f32]) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (p, &l) in probs.iter_mut().zip(logits) {
+        *p = (l - max).exp();
+        sum += *p;
+    }
+    for p in probs {
+        *p /= sum;
     }
 }
 
 impl Policy for ActorCritic {
     fn action_probs(&mut self, obs: &[f32]) -> Vec<f32> {
-        let logits = self
-            .actor
-            .forward(&Tensor::from_vec(1, obs.len(), obs.to_vec()));
-        let row = logits.row(0);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut probs: Vec<f32> = row.iter().map(|&l| (l - max).exp()).collect();
-        let sum: f32 = probs.iter().sum();
-        for p in &mut probs {
-            *p /= sum;
-        }
+        let mut probs = Vec::new();
+        self.action_probs_into(obs, &mut probs);
         probs
+    }
+
+    fn action_probs_into(&mut self, obs: &[f32], out: &mut Vec<f32>) {
+        let x = self.stage_row(obs);
+        let logits = self.actor.forward_ws(&x, &mut self.ws);
+        out.clear();
+        out.resize(logits.cols(), 0.0);
+        softmax_row(logits.row(0), out);
+        self.ws.recycle(logits);
+        self.ws.recycle(x);
+    }
+
+    fn action_probs_batch_into(&mut self, obs: &Tensor, out: &mut Tensor) {
+        let logits = self.actor.forward_ws(obs, &mut self.ws);
+        out.resize_shape(logits.rows(), logits.cols());
+        for r in 0..logits.rows() {
+            softmax_row(logits.row(r), out.row_mut(r));
+        }
+        self.ws.recycle(logits);
     }
 }
 
 impl ValueFunction for ActorCritic {
     fn value(&mut self, obs: &[f32]) -> f32 {
-        self.critic
-            .forward(&Tensor::from_vec(1, obs.len(), obs.to_vec()))
-            .get(0, 0)
+        let x = self.stage_row(obs);
+        let y = self.critic.forward_ws(&x, &mut self.ws);
+        let v = y.get(0, 0);
+        self.ws.recycle(y);
+        self.ws.recycle(x);
+        v
+    }
+
+    fn values_into(&mut self, obs: &Tensor, out: &mut Vec<f32>) {
+        let y = self.critic.forward_ws(obs, &mut self.ws);
+        out.clear();
+        out.extend_from_slice(y.data());
+        self.ws.recycle(y);
     }
 }
 
@@ -118,13 +167,28 @@ pub fn policy_gradient_loss(
     advantages: &[f32],
     entropy_coef: f32,
 ) -> (f32, f32, Tensor) {
+    let mut grad = Tensor::zeros(logits.rows(), logits.cols());
+    let (pg, h) = policy_gradient_loss_into(logits, actions, advantages, entropy_coef, &mut grad);
+    (pg, h, grad)
+}
+
+/// [`policy_gradient_loss`] writing the gradient into a caller-owned
+/// buffer — the zero-alloc variant for steady-state training loops.
+/// Returns `(policy loss, mean entropy)`.
+pub fn policy_gradient_loss_into(
+    logits: &Tensor,
+    actions: &[usize],
+    advantages: &[f32],
+    entropy_coef: f32,
+    grad: &mut Tensor,
+) -> (f32, f32) {
     let t_max = logits.rows();
     assert_eq!(actions.len(), t_max, "one action per logit row");
     assert_eq!(advantages.len(), t_max, "one advantage per logit row");
     let inv_t = 1.0 / t_max as f64;
     let mut pg_loss = 0.0f64;
     let mut entropy_sum = 0.0f64;
-    let mut grad = Tensor::zeros(t_max, logits.cols());
+    grad.resize_shape(t_max, logits.cols());
     for t in 0..t_max {
         let row = logits.row(t);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max) as f64;
@@ -153,7 +217,7 @@ pub fn policy_gradient_loss(
             *g = (d * inv_t) as f32;
         }
     }
-    ((pg_loss * inv_t) as f32, (entropy_sum * inv_t) as f32, grad)
+    ((pg_loss * inv_t) as f32, (entropy_sum * inv_t) as f32)
 }
 
 /// Hyper-parameters for [`train`]. The defaults suit the small in-crate
@@ -291,6 +355,21 @@ fn worker_loop<E: Env>(wid: usize, env: E, server: &Mutex<Server>, cfg: &A2cConf
     let mut local = server.lock().expect("server lock").ac.replicate();
     let mut collector = Collector::new(env, &mut rng);
 
+    // Persistent buffers: the first iteration sizes them, every later one
+    // reuses the capacity, so the steady-state loop body performs no heap
+    // allocation (pinned by the counting-allocator test in `osa-bench`).
+    let mut ro = Rollout::default();
+    let mut adv: Vec<f32> = Vec::new();
+    let mut targets: Vec<f32> = Vec::new();
+    let mut actor_params: Vec<f32> = Vec::new();
+    let mut critic_params: Vec<f32> = Vec::new();
+    let mut actor_grads: Vec<f32> = Vec::new();
+    let mut critic_grads: Vec<f32> = Vec::new();
+    let mut ws = Workspace::new();
+    let mut grad_logits = Tensor::default();
+    let mut target_mat = Tensor::default();
+    let mut grad_values = Tensor::default();
+
     loop {
         // Sync the replica to the freshest parameters.
         {
@@ -298,43 +377,55 @@ fn worker_loop<E: Env>(wid: usize, env: E, server: &Mutex<Server>, cfg: &A2cConf
             if guard.updates_done >= cfg.updates as u64 {
                 break;
             }
-            let actor_params = guard.ac.actor.params_to_vec();
-            let critic_params = guard.ac.critic.params_to_vec();
+            guard.ac.actor.copy_params_into(&mut actor_params);
+            guard.ac.critic.copy_params_into(&mut critic_params);
             drop(guard);
             local.actor.set_params_from_vec(&actor_params);
             local.critic.set_params_from_vec(&critic_params);
         }
 
         // Rollout + gradients, entirely outside the lock.
-        let ro = collector.collect(&mut local, cfg.rollout_len, &mut rng);
-        let mut adv = gae(
+        collector.collect_into(&mut local, cfg.rollout_len, &mut rng, &mut ro);
+        gae_into(
             &ro.rewards,
             &ro.values,
             &ro.dones,
             ro.bootstrap,
             cfg.gamma,
             cfg.lambda,
+            &mut adv,
         );
-        let targets: Vec<f32> = adv.iter().zip(&ro.values).map(|(a, v)| a + v).collect();
+        targets.clear();
+        targets.extend(adv.iter().zip(&ro.values).map(|(a, v)| a + v));
         if cfg.normalize_advantages {
             normalize_advantages(&mut adv);
         }
 
         let obs = ro.observation_matrix();
-        let logits = local.actor.forward(&obs);
-        let (pg_loss, entropy, grad_logits) =
-            policy_gradient_loss(&logits, &ro.actions, &adv, cfg.entropy_coef);
-        local.actor.backward(&grad_logits);
+        let logits = local.actor.forward_ws(obs, &mut ws);
+        let (pg_loss, entropy) = policy_gradient_loss_into(
+            &logits,
+            &ro.actions,
+            &adv,
+            cfg.entropy_coef,
+            &mut grad_logits,
+        );
+        ws.recycle(logits);
+        let g = local.actor.backward_ws(&grad_logits, &mut ws);
+        ws.recycle(g);
         local.actor.clip_grad_global_norm(cfg.max_grad_norm);
 
-        let predicted = local.critic.forward(&obs);
-        let target_mat = Tensor::from_vec(targets.len(), 1, targets);
-        let (value_loss, grad_values) = loss::mse(&predicted, &target_mat);
-        local.critic.backward(&grad_values);
+        let predicted = local.critic.forward_ws(obs, &mut ws);
+        target_mat.resize_shape(targets.len(), 1);
+        target_mat.data_mut().copy_from_slice(&targets);
+        let value_loss = loss::mse_into(&predicted, &target_mat, &mut grad_values);
+        ws.recycle(predicted);
+        let g = local.critic.backward_ws(&grad_values, &mut ws);
+        ws.recycle(g);
         local.critic.clip_grad_global_norm(cfg.max_grad_norm);
 
-        let actor_grads = local.actor.grads_to_vec();
-        let critic_grads = local.critic.grads_to_vec();
+        local.actor.copy_grads_into(&mut actor_grads);
+        local.critic.copy_grads_into(&mut critic_grads);
 
         // Apply to the shared nets; possibly one version stale (A3C).
         let mut guard = server.lock().expect("server lock");

@@ -25,6 +25,7 @@
 //! means a true environment termination, never a fragment edge.
 
 use osa_nn::rng::Rng;
+use osa_nn::tensor::Tensor;
 
 /// The result of one environment transition.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +54,28 @@ pub trait Env {
     /// Take `action` and advance one transition. See the module docs for
     /// the episode-boundary contract.
     fn step(&mut self, action: usize, rng: &mut Rng) -> Step;
+
+    /// [`Env::reset`] writing the first observation into a caller-owned
+    /// buffer. The default delegates to `reset` (and therefore allocates);
+    /// environments on the rollout hot path override it so steady-state
+    /// collection stays allocation-free. Overrides must consume RNG draws
+    /// in exactly the order `reset` does.
+    fn reset_into(&mut self, rng: &mut Rng, obs: &mut Vec<f32>) {
+        let o = self.reset(rng);
+        obs.clear();
+        obs.extend_from_slice(&o);
+    }
+
+    /// [`Env::step`] writing the next observation into a caller-owned
+    /// buffer and returning `(reward, done)`. Same override contract as
+    /// [`Env::reset_into`]: identical semantics and RNG draw order, minus
+    /// the allocation.
+    fn step_into(&mut self, action: usize, rng: &mut Rng, obs: &mut Vec<f32>) -> (f32, bool) {
+        let step = self.step(action, rng);
+        obs.clear();
+        obs.extend_from_slice(&step.obs);
+        (step.reward, step.done)
+    }
 }
 
 /// A (possibly stochastic) mapping from observations to distributions
@@ -78,12 +101,58 @@ pub trait Policy {
         }
         best
     }
+
+    /// [`Policy::action_probs`] into a caller-owned buffer. The default
+    /// delegates (and allocates); network-backed policies override it so
+    /// per-step sampling in the collector is allocation-free. Must produce
+    /// exactly the same probabilities as `action_probs`.
+    fn action_probs_into(&mut self, obs: &[f32], out: &mut Vec<f32>) {
+        let probs = self.action_probs(obs);
+        out.clear();
+        out.extend_from_slice(&probs);
+    }
+
+    /// Action probabilities for a whole `(N × obs_dim)` batch of
+    /// observations at once, written into `out` (one row per observation).
+    /// The default evaluates row by row; network-backed policies override
+    /// it with a single batched forward pass — this is what lets a
+    /// [`crate::rollout::BatchCollector`] stack its worker states into one
+    /// inference call per timestep. Row `i` must equal
+    /// `action_probs(obs.row(i))`.
+    fn action_probs_batch_into(&mut self, obs: &Tensor, out: &mut Tensor) {
+        let mut cols_set = false;
+        for r in 0..obs.rows() {
+            let probs = self.action_probs(obs.row(r));
+            if !cols_set {
+                out.reset_rows(probs.len());
+                cols_set = true;
+            }
+            out.push_row(&probs);
+        }
+        if !cols_set {
+            out.reset_rows(0);
+        }
+    }
 }
 
 /// A state-value estimator `V(s)`, used to bootstrap truncated rollouts
 /// and as the GAE baseline.
 pub trait ValueFunction {
     fn value(&mut self, obs: &[f32]) -> f32;
+
+    /// Value estimates for a whole `(N × obs_dim)` batch of observations,
+    /// written into `out` (cleared first), one entry per row.
+    /// The default evaluates row by row; network-backed critics
+    /// override it with a single batched forward pass — the collector
+    /// batches every `V(s_t)` of a fragment (plus the truncated-tail
+    /// bootstrap) through this. Entry `i` must equal `value(obs.row(i))`.
+    fn values_into(&mut self, obs: &Tensor, out: &mut Vec<f32>) {
+        out.clear();
+        for r in 0..obs.rows() {
+            let v = self.value(obs.row(r));
+            out.push(v);
+        }
+    }
 }
 
 /// Sample an index from an (approximately normalized) probability vector

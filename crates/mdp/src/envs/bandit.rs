@@ -83,6 +83,24 @@ impl ContextBanditEnv {
         obs[c] = 1.0;
         obs
     }
+
+    fn one_hot_into(&self, c: usize, obs: &mut Vec<f32>) {
+        obs.clear();
+        obs.resize(self.means.len(), 0.0);
+        obs[c] = 1.0;
+    }
+
+    /// The transition proper: draws the noisy reward, then the next
+    /// context — that RNG draw order is part of the env's reproducibility
+    /// contract, so [`Env::step`] and [`Env::step_into`] share this.
+    fn pull(&mut self, action: usize, rng: &mut Rng) -> (f32, bool) {
+        assert!(action < self.num_actions(), "arm index out of range");
+        assert!(self.pulls < self.horizon, "stepped a finished episode");
+        self.pulls += 1;
+        let reward = rng.normal(self.means[self.context][action], self.noise_std);
+        self.context = rng.below(self.means.len());
+        (reward, self.pulls >= self.horizon)
+    }
 }
 
 impl Env for ContextBanditEnv {
@@ -101,16 +119,24 @@ impl Env for ContextBanditEnv {
     }
 
     fn step(&mut self, action: usize, rng: &mut Rng) -> Step {
-        assert!(action < self.num_actions(), "arm index out of range");
-        assert!(self.pulls < self.horizon, "stepped a finished episode");
-        self.pulls += 1;
-        let reward = rng.normal(self.means[self.context][action], self.noise_std);
-        self.context = rng.below(self.means.len());
+        let (reward, done) = self.pull(action, rng);
         Step {
             obs: self.one_hot(self.context),
             reward,
-            done: self.pulls >= self.horizon,
+            done,
         }
+    }
+
+    fn reset_into(&mut self, rng: &mut Rng, obs: &mut Vec<f32>) {
+        self.pulls = 0;
+        self.context = rng.below(self.means.len());
+        self.one_hot_into(self.context, obs);
+    }
+
+    fn step_into(&mut self, action: usize, rng: &mut Rng, obs: &mut Vec<f32>) -> (f32, bool) {
+        let (reward, done) = self.pull(action, rng);
+        self.one_hot_into(self.context, obs);
+        (reward, done)
     }
 }
 

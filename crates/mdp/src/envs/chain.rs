@@ -91,6 +91,33 @@ impl ChainEnv {
         obs[s] = 1.0;
         obs
     }
+
+    fn one_hot_into(&self, s: usize, obs: &mut Vec<f32>) {
+        obs.clear();
+        obs.resize(self.n, 0.0);
+        obs[s] = 1.0;
+    }
+
+    /// The transition function proper: updates `state`/`steps` and returns
+    /// `(reward, done)`. Shared by [`Env::step`] and the allocation-free
+    /// [`Env::step_into`] override.
+    fn advance(&mut self, action: usize) -> (f32, bool) {
+        assert!(action < 2, "chain env has two actions");
+        assert!(self.state + 1 < self.n, "stepped a finished episode");
+        self.steps += 1;
+        let (reward, terminal) = if action == ADVANCE {
+            self.state += 1;
+            if self.state + 1 == self.n {
+                (self.goal_reward, true)
+            } else {
+                (0.0, false)
+            }
+        } else {
+            self.state = 0;
+            (self.distractor_reward, false)
+        };
+        (reward, terminal || self.steps >= self.max_steps)
+    }
 }
 
 impl Env for ChainEnv {
@@ -109,26 +136,26 @@ impl Env for ChainEnv {
     }
 
     fn step(&mut self, action: usize, _rng: &mut Rng) -> Step {
-        assert!(action < 2, "chain env has two actions");
-        assert!(self.state + 1 < self.n, "stepped a finished episode");
-        self.steps += 1;
-        let (reward, terminal) = if action == ADVANCE {
-            self.state += 1;
-            if self.state + 1 == self.n {
-                (self.goal_reward, true)
-            } else {
-                (0.0, false)
-            }
-        } else {
-            self.state = 0;
-            (self.distractor_reward, false)
-        };
-        let truncated = self.steps >= self.max_steps;
+        let (reward, done) = self.advance(action);
         Step {
             obs: self.one_hot(self.state),
             reward,
-            done: terminal || truncated,
+            done,
         }
+    }
+
+    // Allocation-free transition path: the chain is deterministic, so the
+    // overrides just skip the `Vec` the defaults would build.
+    fn reset_into(&mut self, _rng: &mut Rng, obs: &mut Vec<f32>) {
+        self.state = 0;
+        self.steps = 0;
+        self.one_hot_into(0, obs);
+    }
+
+    fn step_into(&mut self, action: usize, _rng: &mut Rng, obs: &mut Vec<f32>) -> (f32, bool) {
+        let (reward, done) = self.advance(action);
+        self.one_hot_into(self.state, obs);
+        (reward, done)
     }
 }
 

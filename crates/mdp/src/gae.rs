@@ -59,6 +59,23 @@ pub fn gae(
     gamma: f32,
     lambda: f32,
 ) -> Vec<f32> {
+    let mut adv = Vec::new();
+    gae_into(rewards, values, dones, bootstrap, gamma, lambda, &mut adv);
+    adv
+}
+
+/// [`gae`] writing into a caller-owned buffer — the zero-alloc variant
+/// for steady-state training loops.
+#[allow(clippy::too_many_arguments)]
+pub fn gae_into(
+    rewards: &[f32],
+    values: &[f32],
+    dones: &[bool],
+    bootstrap: f32,
+    gamma: f32,
+    lambda: f32,
+    adv: &mut Vec<f32>,
+) {
     assert_eq!(
         rewards.len(),
         values.len(),
@@ -66,7 +83,8 @@ pub fn gae(
     );
     assert_eq!(rewards.len(), dones.len(), "rewards/dones length mismatch");
     let t_max = rewards.len();
-    let mut adv = vec![0.0f32; t_max];
+    adv.clear();
+    adv.resize(t_max, 0.0);
     let mut acc = 0.0f32;
     for t in (0..t_max).rev() {
         let (next_value, nonterminal) = if dones[t] {
@@ -80,7 +98,6 @@ pub fn gae(
         acc = delta + gamma * lambda * nonterminal * acc;
         adv[t] = acc;
     }
-    adv
 }
 
 /// Standardize advantages to zero mean / unit variance in place (`f64`

@@ -56,10 +56,12 @@ pub mod envs;
 pub mod gae;
 pub mod rollout;
 
-pub use a2c::{policy_gradient_loss, train, A2cConfig, ActorCritic, TrainReport};
+pub use a2c::{
+    policy_gradient_loss, policy_gradient_loss_into, train, A2cConfig, ActorCritic, TrainReport,
+};
 pub use env::{sample_categorical, Env, Policy, Step, ValueFunction};
-pub use gae::{discounted_returns, gae, normalize_advantages};
-pub use rollout::{evaluate, Collector, Rollout};
+pub use gae::{discounted_returns, gae, gae_into, normalize_advantages};
+pub use rollout::{evaluate, BatchCollector, Collector, Rollout};
 
 /// Discount factor the paper's experiments use, re-exported as the
 /// workspace-wide default ([`A2cConfig::default`] starts from it).
@@ -67,11 +69,13 @@ pub const DEFAULT_GAMMA: f32 = 0.99;
 
 /// One-stop import for downstream crates, examples, and tests.
 pub mod prelude {
-    pub use crate::a2c::{policy_gradient_loss, train, A2cConfig, ActorCritic, TrainReport};
+    pub use crate::a2c::{
+        policy_gradient_loss, policy_gradient_loss_into, train, A2cConfig, ActorCritic, TrainReport,
+    };
     pub use crate::env::{sample_categorical, Env, Policy, Step, ValueFunction};
     pub use crate::envs::{ChainEnv, ContextBanditEnv};
-    pub use crate::gae::{discounted_returns, gae, normalize_advantages};
-    pub use crate::rollout::{evaluate, Collector, Rollout};
+    pub use crate::gae::{discounted_returns, gae, gae_into, normalize_advantages};
+    pub use crate::rollout::{evaluate, BatchCollector, Collector, Rollout};
     pub use crate::DEFAULT_GAMMA;
 }
 

@@ -7,16 +7,39 @@
 //! the environment and the in-flight episode state, so consecutive
 //! [`Collector::collect`] calls resume exactly where the previous fragment
 //! stopped, with no transitions dropped or duplicated at the seam.
+//!
+//! # Batched inference
+//!
+//! Value estimates are *not* queried step by step. The collector records
+//! the starting observation of every transition into one `(T × obs_dim)`
+//! matrix and runs a single batched [`ValueFunction::values_into`] pass at
+//! the end of the fragment — with the truncated-tail bootstrap riding
+//! along as one extra row when the fragment ends mid-episode. For a
+//! network-backed critic that turns `T + 1` batch-1 forwards into one
+//! batch-`T+1` forward. [`BatchCollector`] goes further and steps `N`
+//! environment copies in lockstep, stacking their current states into a
+//! single [`Policy::action_probs_batch_into`] call per timestep.
+//!
+//! # Allocation discipline
+//!
+//! [`Collector::collect_into`] reuses the caller's [`Rollout`] buffers and
+//! the collector's own scratch, so after a warmup fragment the steady
+//! state performs no heap allocation (given envs that override
+//! [`Env::step_into`]/[`Env::reset_into`] and agents that override the
+//! `_into` inference hooks — everything in this workspace does). The
+//! allocation-counter test in `osa-bench` pins this.
 
 use osa_nn::rng::Rng;
+use osa_nn::tensor::Tensor;
 
-use crate::env::{Env, Policy, ValueFunction};
+use crate::env::{sample_categorical, Env, Policy, ValueFunction};
 
 /// One fixed-horizon rollout fragment plus the bookkeeping GAE needs.
 #[derive(Clone, Debug, Default)]
 pub struct Rollout {
-    /// Observation each transition started from (`T` rows).
-    pub observations: Vec<Vec<f32>>,
+    /// Observation each transition started from, stacked as a
+    /// `(T × obs_dim)` matrix ready for batched forward passes.
+    pub observations: Tensor,
     /// Action taken at each transition.
     pub actions: Vec<usize>,
     /// Reward earned by each transition.
@@ -48,16 +71,23 @@ impl Rollout {
         self.actions.is_empty()
     }
 
+    /// Empty the fragment for reuse, keeping every buffer's capacity.
+    /// Observation rows collected next will be `obs_dim` wide.
+    pub fn clear(&mut self, obs_dim: usize) {
+        self.observations.reset_rows(obs_dim);
+        self.actions.clear();
+        self.rewards.clear();
+        self.dones.clear();
+        self.values.clear();
+        self.bootstrap = 0.0;
+        self.episode_returns.clear();
+        self.episode_lengths.clear();
+    }
+
     /// Observations stacked into a `(T × obs_dim)` matrix for batched
     /// forward passes.
-    pub fn observation_matrix(&self) -> osa_nn::tensor::Tensor {
-        let rows = self.observations.len();
-        let cols = self.observations.first().map_or(0, Vec::len);
-        let mut data = Vec::with_capacity(rows * cols);
-        for obs in &self.observations {
-            data.extend_from_slice(obs);
-        }
-        osa_nn::tensor::Tensor::from_vec(rows, cols, data)
+    pub fn observation_matrix(&self) -> &Tensor {
+        &self.observations
     }
 }
 
@@ -66,6 +96,8 @@ impl Rollout {
 pub struct Collector<E: Env> {
     env: E,
     obs: Vec<f32>,
+    next_obs: Vec<f32>,
+    probs: Vec<f32>,
     ep_return: f32,
     ep_len: usize,
     /// Total transitions taken since construction.
@@ -79,55 +111,194 @@ impl<E: Env> Collector<E> {
         Collector {
             env,
             obs,
+            next_obs: Vec::new(),
+            probs: Vec::new(),
             ep_return: 0.0,
             ep_len: 0,
             total_steps: 0,
         }
     }
 
-    /// Collect exactly `horizon` transitions, sampling actions from
-    /// `agent` and recording its value estimates; episodes that end are
-    /// reset transparently, and the final state is bootstrapped through
-    /// the agent's [`ValueFunction`] if the fragment ends mid-episode.
+    /// Collect exactly `horizon` transitions into a fresh [`Rollout`].
+    /// Allocating convenience wrapper over [`Collector::collect_into`].
     pub fn collect<A: Policy + ValueFunction>(
         &mut self,
         agent: &mut A,
         horizon: usize,
         rng: &mut Rng,
     ) -> Rollout {
-        assert!(horizon > 0, "cannot collect an empty rollout");
         let mut out = Rollout::default();
-        out.observations.reserve(horizon);
+        self.collect_into(agent, horizon, rng, &mut out);
+        out
+    }
+
+    /// Collect exactly `horizon` transitions into `out`, reusing its
+    /// buffers. Actions are sampled from `agent`; episodes that end are
+    /// reset transparently. Value estimates for the whole fragment (and
+    /// the truncated-tail bootstrap, if the fragment ends mid-episode)
+    /// are computed in a single batched [`ValueFunction::values_into`]
+    /// pass at the end — a terminal tail bootstraps 0 and never evaluates
+    /// the next episode's reset state.
+    pub fn collect_into<A: Policy + ValueFunction>(
+        &mut self,
+        agent: &mut A,
+        horizon: usize,
+        rng: &mut Rng,
+        out: &mut Rollout,
+    ) {
+        assert!(horizon > 0, "cannot collect an empty rollout");
+        out.clear(self.env.obs_dim());
         for _ in 0..horizon {
-            let action = agent.sample(&self.obs, rng);
-            let value = agent.value(&self.obs);
-            let step = self.env.step(action, rng);
+            out.observations.push_row(&self.obs);
+            agent.action_probs_into(&self.obs, &mut self.probs);
+            let action = sample_categorical(&self.probs, rng);
+            let (reward, done) = self.env.step_into(action, rng, &mut self.next_obs);
             self.total_steps += 1;
-            self.ep_return += step.reward;
+            self.ep_return += reward;
             self.ep_len += 1;
 
-            out.observations.push(std::mem::take(&mut self.obs));
             out.actions.push(action);
-            out.rewards.push(step.reward);
-            out.dones.push(step.done);
-            out.values.push(value);
+            out.rewards.push(reward);
+            out.dones.push(done);
 
-            if step.done {
+            if done {
                 out.episode_returns.push(self.ep_return);
                 out.episode_lengths.push(self.ep_len);
                 self.ep_return = 0.0;
                 self.ep_len = 0;
-                self.obs = self.env.reset(rng);
+                self.env.reset_into(rng, &mut self.obs);
             } else {
-                self.obs = step.obs;
+                std::mem::swap(&mut self.obs, &mut self.next_obs);
             }
         }
-        out.bootstrap = if *out.dones.last().expect("horizon > 0") {
-            0.0
+        // One batched critic pass over every V(s_t). The tail state rides
+        // along as an extra row only when the fragment ends mid-episode:
+        // after a terminal transition the environment has already been
+        // reset, and evaluating that state would leak value across the
+        // episode boundary (pinned by tests/rollout_boundary.rs).
+        let tail = !*out.dones.last().expect("horizon > 0");
+        if tail {
+            out.observations.push_row(&self.obs);
+        }
+        agent.values_into(&out.observations, &mut out.values);
+        out.bootstrap = if tail {
+            let b = out.values.pop().expect("tail value present");
+            out.observations.pop_row();
+            b
         } else {
-            agent.value(&self.obs)
+            0.0
         };
-        out
+    }
+}
+
+/// Steps `N` copies of an environment in lockstep, stacking their current
+/// states so the policy runs **one** batched forward per timestep instead
+/// of `N` batch-1 forwards — the synchronous counterpart to handing each
+/// worker thread its own [`Collector`].
+///
+/// All `N` streams share one RNG, consumed in env order within each
+/// timestep, so a run is still a pure function of the seed. Fragments come
+/// out as one [`Rollout`] per environment, each internally identical to
+/// what a dedicated `Collector` would produce for that env's stream of
+/// transitions.
+pub struct BatchCollector<E: Env> {
+    envs: Vec<E>,
+    /// Current observation of every env, `(N × obs_dim)`.
+    obs: Tensor,
+    next_obs: Vec<f32>,
+    probs: Tensor,
+    ep_return: Vec<f32>,
+    ep_len: Vec<usize>,
+    /// Total transitions taken since construction, across all envs.
+    pub total_steps: u64,
+}
+
+impl<E: Env> BatchCollector<E> {
+    /// Wrap `envs` (at least one) and start each one's first episode.
+    pub fn new(mut envs: Vec<E>, rng: &mut Rng) -> Self {
+        assert!(!envs.is_empty(), "need at least one environment");
+        let dim = envs[0].obs_dim();
+        let mut obs = Tensor::zeros(0, 0);
+        obs.reset_rows(dim);
+        let mut first = Vec::new();
+        for env in &mut envs {
+            assert_eq!(env.obs_dim(), dim, "mixed observation widths");
+            env.reset_into(rng, &mut first);
+            obs.push_row(&first);
+        }
+        let n = envs.len();
+        BatchCollector {
+            envs,
+            obs,
+            next_obs: first,
+            probs: Tensor::zeros(0, 0),
+            ep_return: vec![0.0; n],
+            ep_len: vec![0; n],
+            total_steps: 0,
+        }
+    }
+
+    pub fn num_envs(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Collect `horizon` transitions from every env into `outs[i]`
+    /// (resized to `num_envs`, buffers reused), running one batched
+    /// policy forward per timestep and one batched value pass per env at
+    /// the end, with the same terminal-tail bootstrap contract as
+    /// [`Collector::collect_into`].
+    pub fn collect_into<A: Policy + ValueFunction>(
+        &mut self,
+        agent: &mut A,
+        horizon: usize,
+        rng: &mut Rng,
+        outs: &mut Vec<Rollout>,
+    ) {
+        assert!(horizon > 0, "cannot collect an empty rollout");
+        let dim = self.obs.cols();
+        outs.resize_with(self.envs.len(), Rollout::default);
+        for out in outs.iter_mut() {
+            out.clear(dim);
+        }
+        for _ in 0..horizon {
+            // One inference call covers every env's pending action.
+            agent.action_probs_batch_into(&self.obs, &mut self.probs);
+            for (i, out) in outs.iter_mut().enumerate() {
+                out.observations.push_row(self.obs.row(i));
+                let action = sample_categorical(self.probs.row(i), rng);
+                let (reward, done) = self.envs[i].step_into(action, rng, &mut self.next_obs);
+                self.total_steps += 1;
+                self.ep_return[i] += reward;
+                self.ep_len[i] += 1;
+
+                out.actions.push(action);
+                out.rewards.push(reward);
+                out.dones.push(done);
+
+                if done {
+                    out.episode_returns.push(self.ep_return[i]);
+                    out.episode_lengths.push(self.ep_len[i]);
+                    self.ep_return[i] = 0.0;
+                    self.ep_len[i] = 0;
+                    self.envs[i].reset_into(rng, &mut self.next_obs);
+                }
+                self.obs.row_mut(i).copy_from_slice(&self.next_obs);
+            }
+        }
+        for (i, out) in outs.iter_mut().enumerate() {
+            let tail = !*out.dones.last().expect("horizon > 0");
+            if tail {
+                out.observations.push_row(self.obs.row(i));
+            }
+            agent.values_into(&out.observations, &mut out.values);
+            out.bootstrap = if tail {
+                let b = out.values.pop().expect("tail value present");
+                out.observations.pop_row();
+                b
+            } else {
+                0.0
+            };
+        }
     }
 }
 
@@ -255,6 +426,27 @@ mod tests {
     }
 
     #[test]
+    fn collect_into_reuses_buffers_and_matches_collect() {
+        let mut rng_a = Rng::seed_from_u64(7);
+        let mut rng_b = Rng::seed_from_u64(7);
+        let mut col_a = Collector::new(CountEnv { t: 0 }, &mut rng_a);
+        let mut col_b = Collector::new(CountEnv { t: 0 }, &mut rng_b);
+        let mut reused = Rollout::default();
+        for _ in 0..4 {
+            let fresh = col_a.collect(&mut UniformAgent, 5, &mut rng_a);
+            col_b.collect_into(&mut UniformAgent, 5, &mut rng_b, &mut reused);
+            assert_eq!(fresh.observations, reused.observations);
+            assert_eq!(fresh.actions, reused.actions);
+            assert_eq!(fresh.rewards, reused.rewards);
+            assert_eq!(fresh.dones, reused.dones);
+            assert_eq!(fresh.values, reused.values);
+            assert_eq!(fresh.bootstrap, reused.bootstrap);
+            assert_eq!(fresh.episode_returns, reused.episode_returns);
+            assert_eq!(fresh.episode_lengths, reused.episode_lengths);
+        }
+    }
+
+    #[test]
     fn evaluate_counts_full_episodes() {
         let mut rng = Rng::seed_from_u64(4);
         let returns = evaluate(
@@ -266,5 +458,84 @@ mod tests {
             &mut rng,
         );
         assert_eq!(returns, vec![6.0; 5]);
+    }
+
+    /// Wraps [`UniformAgent`] and counts batched-inference calls, proving
+    /// the [`BatchCollector`] really runs one policy forward per timestep.
+    struct CountingAgent {
+        batch_calls: usize,
+        value_batches: usize,
+    }
+
+    impl Policy for CountingAgent {
+        fn action_probs(&mut self, _obs: &[f32]) -> Vec<f32> {
+            vec![0.5, 0.5]
+        }
+        fn action_probs_batch_into(&mut self, obs: &Tensor, out: &mut Tensor) {
+            self.batch_calls += 1;
+            out.reset_rows(2);
+            for _ in 0..obs.rows() {
+                out.push_row(&[0.5, 0.5]);
+            }
+        }
+    }
+
+    impl ValueFunction for CountingAgent {
+        fn value(&mut self, obs: &[f32]) -> f32 {
+            10.0 + obs[0]
+        }
+        fn values_into(&mut self, obs: &Tensor, out: &mut Vec<f32>) {
+            self.value_batches += 1;
+            out.clear();
+            for r in 0..obs.rows() {
+                out.push(10.0 + obs.row(r)[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_collector_steps_envs_in_lockstep() {
+        let mut rng = Rng::seed_from_u64(5);
+        let envs = vec![CountEnv { t: 0 }, CountEnv { t: 0 }, CountEnv { t: 0 }];
+        let mut col = BatchCollector::new(envs, &mut rng);
+        let mut agent = CountingAgent {
+            batch_calls: 0,
+            value_batches: 0,
+        };
+        let mut outs = Vec::new();
+        col.collect_into(&mut agent, 4, &mut rng, &mut outs);
+
+        assert_eq!(outs.len(), 3);
+        // One policy forward per timestep, one value batch per env.
+        assert_eq!(agent.batch_calls, 4);
+        assert_eq!(agent.value_batches, 3);
+        assert_eq!(col.total_steps, 12);
+        // CountEnv is action-independent, so every stream is the same
+        // deterministic 3-step episode wrapping into a fourth step.
+        for out in &outs {
+            assert_eq!(out.rewards, vec![1.0, 2.0, 3.0, 1.0]);
+            assert_eq!(out.dones, vec![false, false, true, false]);
+            assert_eq!(out.episode_returns, vec![6.0]);
+            // Fragment ends mid-episode at t = 1 → bootstrap V([1]) = 11.
+            assert_eq!(out.bootstrap, 11.0);
+            assert_eq!(out.observations.rows(), 4);
+            assert_eq!(out.values, vec![10.0, 11.0, 12.0, 10.0]);
+        }
+    }
+
+    #[test]
+    fn batch_collector_terminal_tail_bootstraps_zero() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut col = BatchCollector::new(vec![CountEnv { t: 0 }; 2], &mut rng);
+        let mut agent = CountingAgent {
+            batch_calls: 0,
+            value_batches: 0,
+        };
+        let mut outs = Vec::new();
+        col.collect_into(&mut agent, 3, &mut rng, &mut outs);
+        for out in &outs {
+            assert_eq!(out.dones, vec![false, false, true]);
+            assert_eq!(out.bootstrap, 0.0);
+        }
     }
 }

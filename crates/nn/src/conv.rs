@@ -10,15 +10,18 @@
 //! convolution, stride 1, no padding — what Pensieve uses).
 
 use crate::init::{init_tensor, Init};
-use crate::layer::{Layer, ParamGrad};
+use crate::layer::{cache_slot, Layer, ParamGrad};
 use crate::rng::Rng;
 use crate::serialize::LayerSpec;
-use crate::tensor::Tensor;
+use crate::tensor::{Act, Tensor};
+use crate::workspace::Workspace;
 
 /// Valid (no-padding), stride-1 1-D convolution.
 ///
 /// Weights are stored as `(out_channels × in_channels·kernel)`; bias is one
-/// scalar per output channel.
+/// scalar per output channel. Like [`crate::layer::Dense`], an elementwise
+/// activation can be fused into the forward pass with
+/// [`Conv1d::with_act`].
 pub struct Conv1d {
     in_channels: usize,
     length: usize,
@@ -26,9 +29,12 @@ pub struct Conv1d {
     kernel: usize,
     w: Tensor,
     b: Tensor,
+    act: Act,
     grad_w: Tensor,
     grad_b: Tensor,
     cached_input: Option<Tensor>,
+    /// Post-activation output, cached only when `act` is not `Identity`.
+    cached_output: Option<Tensor>,
 }
 
 impl Conv1d {
@@ -56,8 +62,20 @@ impl Conv1d {
             grad_b: Tensor::zeros(1, out_channels),
             b: Tensor::zeros(1, out_channels),
             w,
+            act: Act::Identity,
             cached_input: None,
+            cached_output: None,
         }
+    }
+
+    /// Fuse an elementwise activation into the forward pass.
+    pub fn with_act(mut self, act: Act) -> Self {
+        self.act = act;
+        self
+    }
+
+    pub fn act(&self) -> Act {
+        self.act
     }
 
     /// Rebuild from saved parameters (see [`LayerSpec::Conv1d`]).
@@ -87,7 +105,9 @@ impl Conv1d {
             kernel,
             grad_w: Tensor::zeros(out_channels, in_channels * kernel),
             grad_b: Tensor::zeros(1, out_channels),
+            act: Act::Identity,
             cached_input: None,
+            cached_output: None,
             w,
             b,
         }
@@ -118,7 +138,7 @@ impl Conv1d {
 }
 
 impl Layer for Conv1d {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             input.cols(),
             self.in_dim(),
@@ -126,7 +146,8 @@ impl Layer for Conv1d {
         );
         let out_len = self.out_len();
         let (k, l) = (self.kernel, self.length);
-        let mut out = Tensor::zeros(input.rows(), self.out_dim());
+        // Every element of the scratch buffer is written below.
+        let mut out = ws.take(input.rows(), self.out_dim());
         for r in 0..input.rows() {
             let x = input.row(r);
             let orow = out.row_mut(r);
@@ -142,15 +163,18 @@ impl Layer for Conv1d {
                             acc += xv * wv;
                         }
                     }
-                    orow[oc * out_len + t] = acc;
+                    orow[oc * out_len + t] = self.act.apply(acc);
                 }
             }
         }
-        self.cached_input = Some(input.clone());
+        cache_slot(&mut self.cached_input, input);
+        if self.act != Act::Identity {
+            cache_slot(&mut self.cached_output, &out);
+        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
@@ -160,13 +184,31 @@ impl Layer for Conv1d {
         assert_eq!(grad_out.cols(), self.out_dim(), "Conv1d grad width");
         assert_eq!(grad_out.rows(), x.rows(), "Conv1d grad batch");
 
-        self.grad_w = Tensor::zeros(self.out_channels, self.in_channels * k);
-        self.grad_b = Tensor::zeros(1, self.out_channels);
-        let mut grad_in = Tensor::zeros(x.rows(), self.in_dim());
+        // Mask the upstream gradient back through the fused activation.
+        let mut masked: Option<Tensor> = None;
+        let gz: &Tensor = match self.act {
+            Act::Identity => grad_out,
+            Act::Relu => {
+                let y = self
+                    .cached_output
+                    .as_ref()
+                    .expect("Conv1d::backward before forward");
+                let mut g = ws.take(grad_out.rows(), grad_out.cols());
+                for ((o, &gv), &yv) in g.data_mut().iter_mut().zip(grad_out.data()).zip(y.data()) {
+                    *o = gv * if yv > 0.0 { 1.0 } else { 0.0 };
+                }
+                masked.insert(g)
+            }
+        };
+
+        self.grad_w.fill(0.0);
+        self.grad_b.fill(0.0);
+        let mut grad_in = ws.take(x.rows(), self.in_dim());
+        grad_in.fill(0.0);
 
         for r in 0..x.rows() {
             let xr = x.row(r);
-            let gr = grad_out.row(r);
+            let gr = gz.row(r);
             for oc in 0..self.out_channels {
                 let gslice = &gr[oc * out_len..(oc + 1) * out_len];
                 let gsum: f32 = gslice.iter().sum();
@@ -175,7 +217,7 @@ impl Layer for Conv1d {
                     .row_mut(0)
                     .get_mut(oc)
                     .expect("bias index in range") += gsum;
-                let wrow = self.w.row(oc).to_vec();
+                let wrow = self.w.row(oc);
                 let gwrow = self.grad_w.row_mut(oc);
                 let girow = grad_in.row_mut(r);
                 for (t, &g) in gslice.iter().enumerate() {
@@ -190,6 +232,9 @@ impl Layer for Conv1d {
                     }
                 }
             }
+        }
+        if let Some(g) = masked {
+            ws.recycle(g);
         }
         grad_in
     }
@@ -207,6 +252,17 @@ impl Layer for Conv1d {
         ]
     }
 
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamGrad<'_>)) {
+        f(ParamGrad {
+            value: &mut self.w,
+            grad: &mut self.grad_w,
+        });
+        f(ParamGrad {
+            value: &mut self.b,
+            grad: &mut self.grad_b,
+        });
+    }
+
     fn spec(&self) -> LayerSpec {
         LayerSpec::Conv1d {
             in_channels: self.in_channels,
@@ -215,6 +271,7 @@ impl Layer for Conv1d {
             kernel: self.kernel,
             w: self.w.clone(),
             b: self.b.clone(),
+            act: self.act,
         }
     }
 }

@@ -10,7 +10,8 @@
 use crate::init::{init_tensor, Init};
 use crate::rng::Rng;
 use crate::serialize::LayerSpec;
-use crate::tensor::Tensor;
+use crate::tensor::{Act, Tensor};
+use crate::workspace::Workspace;
 
 /// A mutable view of one parameter tensor paired with its gradient.
 pub struct ParamGrad<'a> {
@@ -20,18 +21,39 @@ pub struct ParamGrad<'a> {
 
 /// A differentiable batch-to-batch transformation.
 ///
+/// The workspace-threaded methods (`forward_ws`/`backward_ws`) are the
+/// primary implementation surface: they draw every intermediate buffer
+/// from a caller-owned [`Workspace`], so a warmed-up training loop runs
+/// without heap allocation. The plain `forward`/`backward` methods are
+/// provided convenience wrappers over a throwaway workspace — identical
+/// results, allocating — kept so existing call sites and tests continue to
+/// work unchanged.
+///
 /// Layers must be `Send`: the A3C-style trainer in `osa-mdp` moves whole
 /// [`crate::net::Sequential`] replicas into worker threads and keeps the
 /// shared copy behind a mutex. Every layer here owns plain buffers, so the
 /// bound costs nothing.
 pub trait Layer: Send {
-    /// Compute outputs and cache what `backward` will need.
-    fn forward(&mut self, input: &Tensor) -> Tensor;
+    /// Compute outputs into a workspace-drawn buffer and cache what
+    /// `backward_ws` will need. The returned tensor belongs to the caller,
+    /// who recycles it into `ws` when done.
+    fn forward_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor;
 
-    /// Given `dL/d(output)`, store `dL/d(params)` and return `dL/d(input)`.
+    /// Given `dL/d(output)`, store `dL/d(params)` and return `dL/d(input)`
+    /// in a workspace-drawn buffer.
     ///
-    /// Must be called after `forward`; panics otherwise.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Must be called after a forward pass; panics otherwise.
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor;
+
+    /// Allocating wrapper over [`Layer::forward_ws`].
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.forward_ws(input, &mut Workspace::new())
+    }
+
+    /// Allocating wrapper over [`Layer::backward_ws`].
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
 
     /// Parameter/gradient pairs, in a stable order. Parameter-free layers
     /// return an empty vec.
@@ -39,17 +61,45 @@ pub trait Layer: Send {
         Vec::new()
     }
 
+    /// Visit parameter/gradient pairs in the same stable order as
+    /// [`Layer::params`], without building a `Vec`. Layers with parameters
+    /// override this; the default covers parameter-free layers (an empty
+    /// `params()` vec never allocates).
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamGrad<'_>)) {
+        for pg in self.params() {
+            f(pg);
+        }
+    }
+
     /// Snapshot for serialization.
     fn spec(&self) -> LayerSpec;
 }
 
-/// Fully connected layer: `y = x·W + b` with `W: (in × out)`, `b: (1 × out)`.
+/// Refill an `Option<Tensor>` cache slot from `src`, reusing the existing
+/// allocation after the first call.
+pub(crate) fn cache_slot(slot: &mut Option<Tensor>, src: &Tensor) {
+    match slot {
+        Some(t) => t.copy_from(src),
+        None => *slot = Some(src.clone()),
+    }
+}
+
+/// Fully connected layer: `y = act(x·W + b)` with `W: (in × out)`,
+/// `b: (1 × out)`.
+///
+/// The activation defaults to [`Act::Identity`]; [`Dense::with_act`] fuses
+/// an elementwise activation into the GEMM epilogue, which is bit-identical
+/// to (and cheaper than) following the layer with a standalone [`ReLU`].
 pub struct Dense {
     w: Tensor,
     b: Tensor,
+    act: Act,
     grad_w: Tensor,
     grad_b: Tensor,
     cached_input: Option<Tensor>,
+    /// Post-activation output, cached only when `act` is not `Identity`
+    /// (the backward mask needs it).
+    cached_output: Option<Tensor>,
 }
 
 impl Dense {
@@ -60,7 +110,9 @@ impl Dense {
             grad_b: Tensor::zeros(1, out_dim),
             b: Tensor::zeros(1, out_dim),
             w,
+            act: Act::Identity,
             cached_input: None,
+            cached_output: None,
         }
     }
 
@@ -71,10 +123,22 @@ impl Dense {
         Dense {
             grad_w: Tensor::zeros(w.rows(), w.cols()),
             grad_b: Tensor::zeros(1, b.cols()),
+            act: Act::Identity,
             cached_input: None,
+            cached_output: None,
             w,
             b,
         }
+    }
+
+    /// Fuse an elementwise activation into the forward pass.
+    pub fn with_act(mut self, act: Act) -> Self {
+        self.act = act;
+        self
+    }
+
+    pub fn act(&self) -> Act {
+        self.act
     }
 
     pub fn in_dim(&self) -> usize {
@@ -95,22 +159,55 @@ impl Dense {
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(input.cols(), self.w.rows(), "Dense input width mismatch");
-        let mut out = input.matmul(&self.w);
-        out.add_row_broadcast(&self.b);
-        self.cached_input = Some(input.clone());
+        let mut out = ws.take(input.rows(), self.w.cols());
+        input.matmul_bias_act_into(&self.w, &self.b, self.act, &mut out);
+        cache_slot(&mut self.cached_input, input);
+        if self.act != Act::Identity {
+            cache_slot(&mut self.cached_output, &out);
+        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
             .expect("Dense::backward before forward");
-        self.grad_w = x.tmatmul(grad_out);
-        self.grad_b = grad_out.col_sum();
-        grad_out.matmul_t(&self.w)
+        // Push the upstream gradient back through the fused activation
+        // first: relu'(z) is 1 exactly where the cached output is positive.
+        let mut masked: Option<Tensor> = None;
+        let gz: &Tensor = match self.act {
+            Act::Identity => grad_out,
+            Act::Relu => {
+                let y = self
+                    .cached_output
+                    .as_ref()
+                    .expect("Dense::backward before forward");
+                let mut g = ws.take(grad_out.rows(), grad_out.cols());
+                for ((o, &gv), &yv) in g.data_mut().iter_mut().zip(grad_out.data()).zip(y.data()) {
+                    *o = gv * if yv > 0.0 { 1.0 } else { 0.0 };
+                }
+                masked.insert(g)
+            }
+        };
+        x.tmatmul_into(gz, &mut self.grad_w);
+        gz.col_sum_into(&mut self.grad_b);
+        // Stage wᵀ in scratch so the input gradient runs on the blocked
+        // `matmul` kernel (vector accumulators) rather than the serial-dot
+        // `matmul_t` kernel; the per-element accumulation order is the
+        // same, so the result is bit-identical — the transpose is cheap
+        // data movement next to the (batch × out × in) GEMM it unlocks.
+        let mut wt = ws.take(self.w.cols(), self.w.rows());
+        self.w.transpose_into(&mut wt);
+        let mut out = ws.take(grad_out.rows(), self.w.rows());
+        gz.matmul_into(&wt, &mut out);
+        ws.recycle(wt);
+        if let Some(g) = masked {
+            ws.recycle(g);
+        }
+        out
     }
 
     fn params(&mut self) -> Vec<ParamGrad<'_>> {
@@ -126,10 +223,22 @@ impl Layer for Dense {
         ]
     }
 
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamGrad<'_>)) {
+        f(ParamGrad {
+            value: &mut self.w,
+            grad: &mut self.grad_w,
+        });
+        f(ParamGrad {
+            value: &mut self.b,
+            grad: &mut self.grad_b,
+        });
+    }
+
     fn spec(&self) -> LayerSpec {
         LayerSpec::Dense {
             w: self.w.clone(),
             b: self.b.clone(),
+            act: self.act,
         }
     }
 }
@@ -147,18 +256,25 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.cached_input = Some(input.clone());
-        input.map(|x| x.max(0.0))
+    fn forward_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        cache_slot(&mut self.cached_input, input);
+        let mut out = ws.take(input.rows(), input.cols());
+        for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+            *o = x.max(0.0);
+        }
+        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
             .expect("ReLU::backward before forward");
-        let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        grad_out.hadamard(&mask)
+        let mut out = ws.take(grad_out.rows(), grad_out.cols());
+        for ((o, &g), &xv) in out.data_mut().iter_mut().zip(grad_out.data()).zip(x.data()) {
+            *o = g * if xv > 0.0 { 1.0 } else { 0.0 };
+        }
+        out
     }
 
     fn spec(&self) -> LayerSpec {
@@ -185,8 +301,8 @@ impl Softmax {
 }
 
 impl Layer for Softmax {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut out = input.clone();
+    fn forward_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut out = ws.take_copy(input);
         for r in 0..out.rows() {
             let row = out.row_mut(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -199,17 +315,18 @@ impl Layer for Softmax {
                 *v /= sum;
             }
         }
-        self.cached_output = Some(out.clone());
+        cache_slot(&mut self.cached_output, &out);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let y = self
             .cached_output
             .as_ref()
             .expect("Softmax::backward before forward");
-        // dx_i = y_i * (g_i - Σ_j g_j y_j), per row.
-        let mut out = Tensor::zeros(y.rows(), y.cols());
+        // dx_i = y_i * (g_i - Σ_j g_j y_j), per row; every element of the
+        // scratch buffer is overwritten below.
+        let mut out = ws.take(y.rows(), y.cols());
         for r in 0..y.rows() {
             let yr = y.row(r);
             let gr = grad_out.row(r);

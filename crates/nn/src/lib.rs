@@ -20,6 +20,8 @@
 //! - [`optim`] — `Sgd`, `RmsProp`, `Adam` behind the [`Optimizer`] trait;
 //! - [`init`] — Xavier/He initialization from an explicit seeded RNG;
 //! - [`net`] — the [`Sequential`] container tying it together;
+//! - [`workspace`] — the [`Workspace`] scratch-buffer arena behind the
+//!   allocation-free `*_ws` training path;
 //! - [`serialize`] — versioned JSON persistence ([`NetSpec`]) with exact
 //!   round-tripping of weights;
 //! - [`rng`] — seeded xoshiro256\*\* PRNG shared by the whole workspace;
@@ -62,6 +64,7 @@ pub mod optim;
 pub mod rng;
 pub mod serialize;
 pub mod tensor;
+pub mod workspace;
 
 pub use conv::Conv1d;
 pub use init::Init;
@@ -70,7 +73,8 @@ pub use net::Sequential;
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
 pub use rng::Rng;
 pub use serialize::{LayerSpec, LoadError, NetSpec};
-pub use tensor::Tensor;
+pub use tensor::{Act, Tensor};
+pub use workspace::Workspace;
 
 /// One-stop import for downstream crates, examples, and tests.
 pub mod prelude {
@@ -82,5 +86,6 @@ pub mod prelude {
     pub use crate::optim::{Adam, Optimizer, RmsProp, Sgd};
     pub use crate::rng::Rng;
     pub use crate::serialize::{LayerSpec, LoadError, NetSpec};
-    pub use crate::tensor::Tensor;
+    pub use crate::tensor::{Act, Tensor};
+    pub use crate::workspace::Workspace;
 }

@@ -10,6 +10,14 @@ use crate::tensor::Tensor;
 
 /// Mean squared error over all elements: `Σ (p − t)² / (rows·cols)`.
 pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
+    let loss = mse_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`mse`] writing the gradient into a caller-owned buffer — the
+/// zero-alloc variant for steady-state training loops.
+pub fn mse_into(pred: &Tensor, target: &Tensor, grad: &mut Tensor) -> f32 {
     assert_eq!(
         (pred.rows(), pred.cols()),
         (target.rows(), target.cols()),
@@ -17,13 +25,18 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
     );
     let n = pred.len() as f64;
     let mut loss = 0.0f64;
-    let mut grad = Tensor::zeros(pred.rows(), pred.cols());
-    for (i, (p, t)) in pred.data().iter().zip(target.data()).enumerate() {
-        let d = (*p - *t) as f64;
+    grad.resize_shape(pred.rows(), pred.cols());
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
+        .zip(target.data())
+    {
+        let d = (p - t) as f64;
         loss += d * d;
-        grad.data_mut()[i] = (2.0 * d / n) as f32;
+        *g = (2.0 * d / n) as f32;
     }
-    ((loss / n) as f32, grad)
+    (loss / n) as f32
 }
 
 /// Softmax cross-entropy on *logits*, fused for numerical stability.

@@ -4,10 +4,11 @@
 use std::path::Path;
 
 use crate::conv::Conv1d;
-use crate::layer::{Dense, Layer, ReLU, Softmax};
+use crate::layer::{Dense, Layer, ParamGrad, ReLU, Softmax};
 use crate::optim::Optimizer;
 use crate::serialize::{LayerSpec, LoadError, NetSpec};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A feed-forward chain of layers.
 ///
@@ -44,24 +45,58 @@ impl Sequential {
     }
 
     /// Run the batch through every layer, caching intermediates for
-    /// `backward`.
+    /// `backward`. Allocating wrapper over [`Sequential::forward_ws`].
     pub fn forward(&mut self, input: &Tensor) -> Tensor {
-        let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x);
+        self.forward_ws(input, &mut Workspace::new())
+    }
+
+    /// Workspace-threaded forward pass: every intermediate activation is
+    /// drawn from (and recycled back into) `ws`, so a warmed-up training
+    /// loop allocates nothing. The returned tensor belongs to the caller,
+    /// who recycles it into `ws` when done with it.
+    pub fn forward_ws(&mut self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut iter = self.layers.iter_mut();
+        let Some(first) = iter.next() else {
+            return ws.take_copy(input);
+        };
+        let mut x = first.forward_ws(input, ws);
+        for layer in iter {
+            let y = layer.forward_ws(&x, ws);
+            ws.recycle(x);
+            x = y;
         }
         x
     }
 
     /// Propagate `dL/d(output)` back through every layer; parameter
     /// gradients end up stored in the layers, and `dL/d(input)` is
-    /// returned.
+    /// returned. Allocating wrapper over [`Sequential::backward_ws`].
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// Workspace-threaded backward pass; the returned input gradient
+    /// belongs to the caller, who recycles it into `ws` when done.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut iter = self.layers.iter_mut().rev();
+        let Some(first) = iter.next() else {
+            return ws.take_copy(grad_out);
+        };
+        let mut g = first.backward_ws(grad_out, ws);
+        for layer in iter {
+            let h = layer.backward_ws(&g, ws);
+            ws.recycle(g);
+            g = h;
         }
         g
+    }
+
+    /// Visit every parameter/gradient pair in slot order — the same stable
+    /// numbering `step` uses — without allocating per-layer vectors.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamGrad<'_>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
     }
 
     /// Apply one optimizer step to every parameter using the gradients
@@ -69,12 +104,10 @@ impl Sequential {
     pub fn step(&mut self, opt: &mut dyn Optimizer) {
         opt.begin_step();
         let mut slot = 0;
-        for layer in &mut self.layers {
-            for pg in layer.params() {
-                opt.update(slot, pg.value, pg.grad);
-                slot += 1;
-            }
-        }
+        self.visit_params(&mut |pg| {
+            opt.update(slot, pg.value, pg.grad);
+            slot += 1;
+        });
     }
 
     /// All parameter/gradient pairs in slot order — the same numbering
@@ -93,19 +126,16 @@ impl Sequential {
 
     /// Total number of trainable scalars.
     pub fn num_params(&mut self) -> usize {
-        self.layers
-            .iter_mut()
-            .flat_map(|l| l.params())
-            .map(|pg| pg.value.len())
-            .sum()
+        let mut n = 0;
+        self.visit_params(&mut |pg| n += pg.value.len());
+        n
     }
 
     /// True iff every parameter is finite.
     pub fn params_finite(&mut self) -> bool {
-        self.layers
-            .iter_mut()
-            .flat_map(|l| l.params())
-            .all(|pg| pg.value.is_finite())
+        let mut finite = true;
+        self.visit_params(&mut |pg| finite &= pg.value.is_finite());
+        finite
     }
 
     // -- parameter/gradient vectors ------------------------------------------
@@ -121,12 +151,16 @@ impl Sequential {
     /// Copy every parameter into one contiguous vector, in slot order.
     pub fn params_to_vec(&mut self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        for layer in &mut self.layers {
-            for pg in layer.params() {
-                out.extend_from_slice(pg.value.data());
-            }
-        }
+        self.copy_params_into(&mut out);
         out
+    }
+
+    /// Refill `out` with every parameter in slot order, reusing its
+    /// capacity — the zero-alloc counterpart of
+    /// [`Sequential::params_to_vec`] for per-step parameter-server syncs.
+    pub fn copy_params_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |pg| out.extend_from_slice(pg.value.data()));
     }
 
     /// Overwrite every parameter from a flat vector produced by
@@ -134,14 +168,12 @@ impl Sequential {
     /// Panics if the total length does not match.
     pub fn set_params_from_vec(&mut self, flat: &[f32]) {
         let mut off = 0;
-        for layer in &mut self.layers {
-            for pg in layer.params() {
-                let n = pg.value.len();
-                assert!(off + n <= flat.len(), "parameter vector too short");
-                pg.value.data_mut().copy_from_slice(&flat[off..off + n]);
-                off += n;
-            }
-        }
+        self.visit_params(&mut |pg| {
+            let n = pg.value.len();
+            assert!(off + n <= flat.len(), "parameter vector too short");
+            pg.value.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
         assert_eq!(off, flat.len(), "parameter vector too long");
     }
 
@@ -149,12 +181,16 @@ impl Sequential {
     /// order. Meaningful after a `backward` pass.
     pub fn grads_to_vec(&mut self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.num_params());
-        for layer in &mut self.layers {
-            for pg in layer.params() {
-                out.extend_from_slice(pg.grad.data());
-            }
-        }
+        self.copy_grads_into(&mut out);
         out
+    }
+
+    /// Refill `out` with every stored gradient in slot order, reusing its
+    /// capacity — the zero-alloc counterpart of
+    /// [`Sequential::grads_to_vec`].
+    pub fn copy_grads_into(&mut self, out: &mut Vec<f32>) {
+        out.clear();
+        self.visit_params(&mut |pg| out.extend_from_slice(pg.grad.data()));
     }
 
     /// Overwrite every stored gradient from a flat vector, so a gradient
@@ -162,14 +198,12 @@ impl Sequential {
     /// [`Sequential::step`]. Panics if the total length does not match.
     pub fn set_grads_from_vec(&mut self, flat: &[f32]) {
         let mut off = 0;
-        for layer in &mut self.layers {
-            for pg in layer.params() {
-                let n = pg.grad.len();
-                assert!(off + n <= flat.len(), "gradient vector too short");
-                pg.grad.data_mut().copy_from_slice(&flat[off..off + n]);
-                off += n;
-            }
-        }
+        self.visit_params(&mut |pg| {
+            let n = pg.grad.len();
+            assert!(off + n <= flat.len(), "gradient vector too short");
+            pg.grad.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        });
         assert_eq!(off, flat.len(), "gradient vector too long");
     }
 
@@ -177,13 +211,11 @@ impl Sequential {
     /// in `f64` so large nets don't lose precision.
     pub fn grad_global_norm(&mut self) -> f32 {
         let mut sq = 0.0f64;
-        for layer in &mut self.layers {
-            for pg in layer.params() {
-                for &g in pg.grad.data() {
-                    sq += (g as f64) * (g as f64);
-                }
+        self.visit_params(&mut |pg| {
+            for &g in pg.grad.data() {
+                sq += (g as f64) * (g as f64);
             }
-        }
+        });
         sq.sqrt() as f32
     }
 
@@ -198,11 +230,7 @@ impl Sequential {
         let norm = self.grad_global_norm();
         if norm > max_norm {
             let scale = max_norm / norm;
-            for layer in &mut self.layers {
-                for pg in layer.params() {
-                    pg.grad.scale(scale);
-                }
-            }
+            self.visit_params(&mut |pg| pg.grad.scale(scale));
         }
         norm
     }
@@ -217,7 +245,9 @@ impl Sequential {
         let mut net = Sequential::new();
         for layer in &spec.layers {
             match layer {
-                LayerSpec::Dense { w, b } => net.push(Dense::from_params(w.clone(), b.clone())),
+                LayerSpec::Dense { w, b, act } => {
+                    net.push(Dense::from_params(w.clone(), b.clone()).with_act(*act))
+                }
                 LayerSpec::Conv1d {
                     in_channels,
                     length,
@@ -225,14 +255,18 @@ impl Sequential {
                     kernel,
                     w,
                     b,
-                } => net.push(Conv1d::from_params(
-                    *in_channels,
-                    *length,
-                    *out_channels,
-                    *kernel,
-                    w.clone(),
-                    b.clone(),
-                )),
+                    act,
+                } => net.push(
+                    Conv1d::from_params(
+                        *in_channels,
+                        *length,
+                        *out_channels,
+                        *kernel,
+                        w.clone(),
+                        b.clone(),
+                    )
+                    .with_act(*act),
+                ),
                 LayerSpec::ReLU => net.push(ReLU::new()),
                 LayerSpec::Softmax => net.push(Softmax::new()),
             }

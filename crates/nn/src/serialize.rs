@@ -10,7 +10,7 @@ use std::io;
 use std::path::Path;
 
 use crate::json::{obj, JsonError, Value};
-use crate::tensor::Tensor;
+use crate::tensor::{Act, Tensor};
 
 /// Current on-disk format version; bump on breaking layout changes.
 pub const FORMAT_VERSION: u32 = 1;
@@ -22,6 +22,7 @@ pub enum LayerSpec {
     Dense {
         w: Tensor,
         b: Tensor,
+        act: Act,
     },
     Conv1d {
         in_channels: usize,
@@ -30,9 +31,31 @@ pub enum LayerSpec {
         kernel: usize,
         w: Tensor,
         b: Tensor,
+        act: Act,
     },
     ReLU,
     Softmax,
+}
+
+/// Activation tag for fused layers. `Identity` is omitted from the JSON so
+/// documents written before fused activations existed parse unchanged, and
+/// unfused nets keep producing byte-identical files.
+fn act_to_json(act: Act) -> Option<(&'static str, Value)> {
+    match act {
+        Act::Identity => None,
+        Act::Relu => Some(("act", Value::Str("relu".into()))),
+    }
+}
+
+fn act_from_json(v: &Value) -> Result<Act, LoadError> {
+    match v.get("act") {
+        None => Ok(Act::Identity),
+        Some(a) => match a.as_str() {
+            Some("relu") => Ok(Act::Relu),
+            Some(other) => Err(schema(format!("unknown activation '{other}'"))),
+            None => Err(schema("'act' must be a string")),
+        },
+    }
 }
 
 /// Serializable snapshot of a [`crate::net::Sequential`] network.
@@ -129,11 +152,15 @@ pub fn tensor_from_json(v: &Value) -> Result<Tensor, LoadError> {
 
 fn layer_to_json(spec: &LayerSpec) -> Value {
     match spec {
-        LayerSpec::Dense { w, b } => obj(vec![
-            ("type", Value::Str("dense".into())),
-            ("w", tensor_to_json(w)),
-            ("b", tensor_to_json(b)),
-        ]),
+        LayerSpec::Dense { w, b, act } => {
+            let mut fields = vec![
+                ("type", Value::Str("dense".into())),
+                ("w", tensor_to_json(w)),
+                ("b", tensor_to_json(b)),
+            ];
+            fields.extend(act_to_json(*act));
+            obj(fields)
+        }
         LayerSpec::Conv1d {
             in_channels,
             length,
@@ -141,15 +168,20 @@ fn layer_to_json(spec: &LayerSpec) -> Value {
             kernel,
             w,
             b,
-        } => obj(vec![
-            ("type", Value::Str("conv1d".into())),
-            ("in_channels", Value::Num(*in_channels as f64)),
-            ("length", Value::Num(*length as f64)),
-            ("out_channels", Value::Num(*out_channels as f64)),
-            ("kernel", Value::Num(*kernel as f64)),
-            ("w", tensor_to_json(w)),
-            ("b", tensor_to_json(b)),
-        ]),
+            act,
+        } => {
+            let mut fields = vec![
+                ("type", Value::Str("conv1d".into())),
+                ("in_channels", Value::Num(*in_channels as f64)),
+                ("length", Value::Num(*length as f64)),
+                ("out_channels", Value::Num(*out_channels as f64)),
+                ("kernel", Value::Num(*kernel as f64)),
+                ("w", tensor_to_json(w)),
+                ("b", tensor_to_json(b)),
+            ];
+            fields.extend(act_to_json(*act));
+            obj(fields)
+        }
         LayerSpec::ReLU => obj(vec![("type", Value::Str("relu".into()))]),
         LayerSpec::Softmax => obj(vec![("type", Value::Str("softmax".into()))]),
     }
@@ -175,10 +207,11 @@ fn layer_from_json(v: &Value) -> Result<LayerSpec, LoadError> {
         "dense" => {
             let w = tensor_from_json(field("w")?)?;
             let b = tensor_from_json(field("b")?)?;
+            let act = act_from_json(v)?;
             if b.rows() != 1 || b.cols() != w.cols() {
                 return Err(schema("dense bias shape does not match weights"));
             }
-            Ok(LayerSpec::Dense { w, b })
+            Ok(LayerSpec::Dense { w, b, act })
         }
         "conv1d" => {
             let in_channels = dim("in_channels")?;
@@ -187,6 +220,7 @@ fn layer_from_json(v: &Value) -> Result<LayerSpec, LoadError> {
             let kernel = dim("kernel")?;
             let w = tensor_from_json(field("w")?)?;
             let b = tensor_from_json(field("b")?)?;
+            let act = act_from_json(v)?;
             if kernel == 0 || kernel > length {
                 return Err(schema("conv1d kernel must fit the signal"));
             }
@@ -203,6 +237,7 @@ fn layer_from_json(v: &Value) -> Result<LayerSpec, LoadError> {
                 kernel,
                 w,
                 b,
+                act,
             })
         }
         "relu" => Ok(LayerSpec::ReLU),
@@ -275,6 +310,7 @@ mod tests {
                 kernel: 2,
                 w: Tensor::from_rows(&[vec![0.1, -0.2], vec![0.3, 0.4]]),
                 b: Tensor::vector(vec![0.0, 1.0]),
+                act: Act::Relu,
             },
             LayerSpec::ReLU,
             LayerSpec::Dense {
@@ -287,6 +323,7 @@ mod tests {
                     vec![6.0],
                 ]),
                 b: Tensor::vector(vec![-0.5]),
+                act: Act::Identity,
             },
             LayerSpec::Softmax,
         ])

@@ -5,8 +5,42 @@
 //! `(1 × n)` row vector. Loss reductions accumulate in `f64` to keep the
 //! numerical gradient checks meaningful at `f32` precision.
 
+/// Elementwise activation fused into the GEMM epilogues
+/// ([`Tensor::matmul_bias_act_into`]) and the fused `Dense`/`Conv1d`
+/// forward passes. Applying `Identity` reproduces the unfused pipeline
+/// bit-for-bit; `Relu` is exactly `max(0, x)`, the same function the
+/// standalone `ReLU` layer applies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Act {
+    #[default]
+    Identity,
+    Relu,
+}
+
+impl Act {
+    #[inline(always)]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Act::Identity => x,
+            Act::Relu => x.max(0.0),
+        }
+    }
+}
+
+/// Row-block size of the [`Tensor::matmul_into`] kernel: four rows of the
+/// left operand are streamed together so every row of the right operand
+/// loaded from memory is reused four times from registers.
+const MR: usize = 4;
+
+/// Column-tile width of the register micro-kernel: `MR × NR` running sums
+/// (4 × 8 = 32 `f32`, eight SSE registers) stay resident across the whole
+/// `k` loop, leaving room for the streamed `b` tile and broadcasts even
+/// on baseline x86-64 without AVX.
+const NR: usize = 8;
+
 /// Dense row-major `f32` matrix. 1-D vectors are `(1 × n)`.
-#[derive(Clone, Debug, PartialEq)]
+/// `Default` is the empty `(0 × 0)` tensor.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Tensor {
     rows: usize,
     cols: usize,
@@ -84,6 +118,12 @@ impl Tensor {
         self.data.len()
     }
 
+    /// Capacity of the underlying buffer in elements — how large this
+    /// tensor can be reshaped without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
@@ -119,90 +159,292 @@ impl Tensor {
 
     /// Matrix product `self · other`. Shapes `(m,k)·(k,n) → (m,n)`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// In-place matrix product `out = self · other`, reshaping `out` to
+    /// `(m,n)` without reallocating when its buffer already has capacity.
+    ///
+    /// The kernel is register-blocked: [`MR`] rows of `self` are processed
+    /// together, so each row of `other` streamed from memory feeds `MR`
+    /// output rows held in cache. Every output element still accumulates
+    /// its `k` products in ascending order, which keeps the result
+    /// bit-identical to the naive i-k-j loop (pinned by
+    /// `tests/kernels.rs`).
+    pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: ({},{}) x ({},{})",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
-        // i-k-j order: the inner loop walks both `other` and `out` rows
-        // contiguously, which is what makes this usable in the hot path.
-        for i in 0..m {
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[p * n..(p + 1) * n];
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+        out.resize_shape(m, n);
+        gemm_blocked(m, k, n, &self.data, &other.data, &mut out.data);
+    }
+
+    /// In-place fused dense forward:
+    /// `out = act(self · w + bias)` with `bias` broadcast to every row.
+    ///
+    /// The bias add and activation run as a single epilogue pass over the
+    /// accumulated product, so `Identity` activation reproduces
+    /// `matmul` + `add_row_broadcast` bit-for-bit and `Relu` reproduces a
+    /// subsequent ReLU layer bit-for-bit — with one traversal and zero
+    /// intermediate buffers.
+    pub fn matmul_bias_act_into(&self, w: &Tensor, bias: &Tensor, act: Act, out: &mut Tensor) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, w.cols, "bias width mismatch");
+        self.matmul_into(w, out);
+        let n = out.cols;
+        for orow in out.data.chunks_exact_mut(n) {
+            for (o, &b) in orow.iter_mut().zip(&bias.data) {
+                *o = act.apply(*o + b);
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materializing the transpose.
     /// Shapes `(k,m)ᵀ·(k,n) → (m,n)`.
     pub fn tmatmul(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        self.tmatmul_into(other, &mut out);
+        out
+    }
+
+    /// In-place `out = selfᵀ · other`, reshaping `out` without
+    /// reallocating when possible.
+    ///
+    /// Tiled into [`MR`]`×`[`NR`] register blocks like
+    /// [`Tensor::matmul_into`]; because the left operand is stored
+    /// `(k × m)`, the four `x` values each `k` step needs are one
+    /// contiguous load. Per-element accumulation stays in ascending-`k`
+    /// order, matching the naive loop bit-for-bit.
+    pub fn tmatmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
             "tmatmul shape mismatch: ({},{})T x ({},{})",
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
-        for p in 0..k {
-            let arow = &self.data[p * m..(p + 1) * m];
-            let brow = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        out.resize_shape(m, n);
+        let a = &self.data;
+        let b = &other.data;
+        let o = &mut out.data;
+        let mut i = 0;
+        // Register micro-kernel, mirroring `gemm_blocked`: a 4×8
+        // accumulator tile lives in registers across the whole k loop.
+        // The left operand is `(k × m)`, so the four `x` values per `p`
+        // sit contiguously at `a[p·m + i..]` — one 4-wide load.
+        while i + MR <= m {
+            let mut j = 0;
+            while j + NR <= n {
+                let mut acc = [[0.0f32; NR]; MR];
+                for p in 0..k {
+                    let xs: &[f32; MR] = a[p * m + i..p * m + i + MR]
+                        .try_into()
+                        .expect("MR-wide load");
+                    let brow: &[f32; NR] = b[p * n + j..p * n + j + NR]
+                        .try_into()
+                        .expect("NR-wide tile");
+                    for (accr, &x) in acc.iter_mut().zip(xs) {
+                        for (av, &bv) in accr.iter_mut().zip(brow) {
+                            *av += x * bv;
+                        }
+                    }
                 }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
+                for (r, accr) in acc.iter().enumerate() {
+                    o[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
                 }
+                j += NR;
             }
+            // Leftover columns: one serial dot per element, ascending `p`.
+            while j < n {
+                for r in 0..MR {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += a[p * m + i + r] * b[p * n + j];
+                    }
+                    o[(i + r) * n + j] = acc;
+                }
+                j += 1;
+            }
+            i += MR;
         }
-        out
+        // Leftover rows: one serial dot per element, ascending `p`.
+        while i < m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[p * m + i] * b[p * n + j];
+                }
+                o[i * n + j] = acc;
+            }
+            i += 1;
+        }
     }
 
     /// `self · otherᵀ` without materializing the transpose.
     /// Shapes `(m,k)·(n,k)ᵀ → (m,n)`.
     pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// In-place `out = self · otherᵀ`, reshaping `out` without
+    /// reallocating when possible.
+    ///
+    /// Blocked over output columns: [`MR`] rows of `other` are dotted
+    /// against one streamed row of `self` per sweep, reusing each loaded
+    /// `self` element four times. Each dot product keeps a single
+    /// accumulator walked in ascending-`k` order, so results are
+    /// bit-identical to the naive loop.
+    pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_t shape mismatch: ({},{}) x ({},{})T",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Tensor::zeros(m, n);
+        out.resize_shape(m, n);
         for i in 0..m {
             let arow = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + MR <= n {
+                let (b0, b1, b2, b3) = (
+                    &other.data[j * k..(j + 1) * k],
+                    &other.data[(j + 1) * k..(j + 2) * k],
+                    &other.data[(j + 2) * k..(j + 3) * k],
+                    &other.data[(j + 3) * k..(j + 4) * k],
+                );
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                    s0 += av * v0;
+                    s1 += av * v1;
+                    s2 += av * v2;
+                    s3 += av * v3;
+                }
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+                j += MR;
+            }
+            while j < n {
                 let brow = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    acc += a * b;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
                 }
-                out.data[i * n + j] = acc;
+                orow[j] = acc;
+                j += 1;
             }
         }
-        out
+    }
+
+    /// Reshape to `(rows, cols)`, reusing the existing buffer whenever its
+    /// capacity suffices. Element values are unspecified afterwards —
+    /// callers are expected to overwrite them (all `_into` kernels do).
+    pub fn resize_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Overwrite every element with a constant.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Make `self` an exact copy of `other` (shape and contents), reusing
+    /// the existing allocation when capacity suffices.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Reset to zero rows of the given width, keeping the allocation so
+    /// subsequent [`Tensor::push_row`] calls append without reallocating.
+    pub fn reset_rows(&mut self, cols: usize) {
+        self.rows = 0;
+        self.cols = cols;
+        self.data.clear();
+    }
+
+    /// Append one row. Panics if the slice width does not match `cols`.
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "push_row width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Drop the last row, keeping the allocation.
+    pub fn pop_row(&mut self) {
+        assert!(self.rows > 0, "pop_row on empty tensor");
+        self.rows -= 1;
+        self.data.truncate(self.rows * self.cols);
+    }
+
+    /// Consume `self` into its underlying row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// In-place column sums: `out` becomes a `(1 × cols)` row vector.
+    pub fn col_sum_into(&self, out: &mut Tensor) {
+        out.resize_shape(1, self.cols);
+        out.data.fill(0.0);
+        for r in 0..self.rows {
+            let src = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &s) in out.data.iter_mut().zip(src) {
+                *o += s;
+            }
+        }
     }
 
     /// Materialized transpose.
     pub fn transpose(&self) -> Tensor {
         let mut out = Tensor::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        self.transpose_into(&mut out);
         out
+    }
+
+    /// In-place transpose into a caller-owned buffer, reshaping it
+    /// without reallocating when capacity suffices.
+    ///
+    /// Pure data movement — `Dense::backward_ws` stages `wᵀ` through a
+    /// workspace buffer this way so the input-gradient product can run on
+    /// the vectorizable [`Tensor::matmul_into`] kernel instead of the
+    /// serial-dot [`Tensor::matmul_t_into`]; per-element accumulation
+    /// order (ascending `k`) is unchanged, so results stay bit-identical.
+    pub fn transpose_into(&self, out: &mut Tensor) {
+        out.resize_shape(self.cols, self.rows);
+        let (rows, cols) = (self.rows, self.cols);
+        // 8×8 tiles: a row-major pass touches one destination cache line
+        // per element; tiling keeps 8 destination lines hot while 64
+        // elements land in them, which is what makes the transpose run at
+        // memory bandwidth instead of cache-miss latency.
+        const TB: usize = 8;
+        let mut r0 = 0;
+        while r0 < rows {
+            let r1 = (r0 + TB).min(rows);
+            let mut c0 = 0;
+            while c0 < cols {
+                let c1 = (c0 + TB).min(cols);
+                for r in r0..r1 {
+                    let src = &self.data[r * cols..(r + 1) * cols];
+                    for (c, &v) in src.iter().enumerate().take(c1).skip(c0) {
+                        out.data[c * rows + r] = v;
+                    }
+                }
+                c0 = c1;
+            }
+            r0 = r1;
+        }
     }
 
     /// Elementwise sum, in place. Shapes must match.
@@ -309,6 +551,80 @@ impl Tensor {
     /// True iff every element is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Register-blocked GEMM core: `o[m×n] = a[m×k] · b[k×n]`.
+///
+/// The output is tiled into [`MR`]`×`[`NR`] register blocks: each tile's
+/// 32 running sums stay in registers across the whole `k` loop while `b`
+/// streams through 8-wide, so memory sees one store per output element
+/// instead of a load+store per `k` step, and every `b` element loaded
+/// feeds four multiply-add lanes. For each output element the `k` partial
+/// products are still added in ascending-`p` order, which is what keeps
+/// the tiled result bit-identical to the naive i-k-j loop on finite
+/// inputs (`±0.0` aside, which `f32` equality cannot distinguish).
+fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], o: &mut [f32]) {
+    let mut i = 0;
+    while i + MR <= m {
+        let ar = [
+            &a[i * k..(i + 1) * k],
+            &a[(i + 1) * k..(i + 2) * k],
+            &a[(i + 2) * k..(i + 3) * k],
+            &a[(i + 3) * k..(i + 4) * k],
+        ];
+        let mut j = 0;
+        // Register micro-kernel: the 4×8 accumulator tile lives in
+        // registers across the entire k loop, so `o` is written exactly
+        // once per element instead of loaded+stored on every k step.
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                // Fixed-size view so the 4×8 tile fully unrolls and the
+                // accumulators are register-promoted.
+                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR]
+                    .try_into()
+                    .expect("NR-wide tile");
+                for (accr, arr) in acc.iter_mut().zip(&ar) {
+                    let x = arr[p];
+                    for (av, &bv) in accr.iter_mut().zip(brow) {
+                        *av += x * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                o[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+        // Leftover columns: one serial dot per element, ascending `p`.
+        while j < n {
+            for (r, arr) in ar.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (p, &x) in arr.iter().enumerate() {
+                    acc += x * b[p * n + j];
+                }
+                o[(i + r) * n + j] = acc;
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    // Leftover rows: vectorizable in-row accumulation, ascending `p`.
+    while i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut o[i * n..(i + 1) * n];
+        orow.fill(0.0);
+        for (p, &x) in arow.iter().enumerate() {
+            if x == 0.0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            for (ov, &bv) in orow.iter_mut().zip(brow) {
+                *ov += x * bv;
+            }
+        }
+        i += 1;
     }
 }
 

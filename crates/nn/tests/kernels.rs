@@ -1,0 +1,209 @@
+//! Bit-exactness contracts for the blocked GEMM kernels and fused
+//! epilogues.
+//!
+//! The register-blocked kernels in `tensor.rs` (`matmul_into`,
+//! `tmatmul_into`, `matmul_t_into`, `matmul_bias_act_into`) are only
+//! allowed to change *when* arithmetic happens, never *what* arithmetic
+//! happens: every output element must accumulate its `k` products in
+//! ascending order, exactly like the naive loop. That makes blocking,
+//! buffer reuse, and activation fusion invisible to every seeded test in
+//! the workspace. These property-style tests (hand-rolled, no `proptest`
+//! offline) pin the contract with `f32::to_bits` equality across random
+//! shapes — including the degenerate `1×N` row-vector and `N×1`
+//! column-vector cases that bypass whole blocks of the `MR`-row kernel.
+
+use osa_nn::prelude::*;
+use osa_nn::tensor::Act;
+
+const CASES: usize = 100;
+
+fn random_tensor(rows: usize, cols: usize, rng: &mut Rng) -> Tensor {
+    let data = (0..rows * cols).map(|_| rng.range_f32(-2.0, 2.0)).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Random GEMM dimensions, forcing the degenerate edges every 4th case.
+fn random_dims(case: usize, rng: &mut Rng) -> (usize, usize, usize) {
+    // Up to 20 so full 4×8 register tiles, partial tiles, and leftover
+    // rows/columns all occur.
+    let (mut m, mut k, mut n) = (1 + rng.below(20), 1 + rng.below(20), 1 + rng.below(20));
+    match case % 4 {
+        0 => m = 1, // (1×k)·(k×n): a single output row
+        1 => n = 1, // (m×k)·(k×1): a single output column
+        2 => k = 1, // outer product: one accumulation step per element
+        _ => {}
+    }
+    (m, k, n)
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str, case: usize) {
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "{what} shape, case {case}"
+    );
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}, case {case}, elem {i}: {x} vs {y}"
+        );
+    }
+}
+
+/// Naive reference: per output element, ascending-`k` accumulation in f32.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for p in 0..a.cols() {
+                acc += a.get(i, p) * b.get(p, j);
+            }
+            *out.row_mut(i).get_mut(j).unwrap() = acc;
+        }
+    }
+    out
+}
+
+/// Naive `aᵀ·b`: shapes `(k,m)ᵀ·(k,n) → (m,n)`, ascending-`k` accumulation.
+fn naive_tmatmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.cols(), b.cols());
+    for i in 0..a.cols() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for p in 0..a.rows() {
+                acc += a.get(p, i) * b.get(p, j);
+            }
+            *out.row_mut(i).get_mut(j).unwrap() = acc;
+        }
+    }
+    out
+}
+
+/// Naive `a·bᵀ`: shapes `(m,k)·(n,k)ᵀ → (m,n)`, ascending-`k` accumulation.
+fn naive_matmul_t(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let mut acc = 0.0f32;
+            for p in 0..a.cols() {
+                acc += a.get(i, p) * b.get(j, p);
+            }
+            *out.row_mut(i).get_mut(j).unwrap() = acc;
+        }
+    }
+    out
+}
+
+#[test]
+#[should_panic(expected = "ragged rows")]
+fn from_rows_rejects_ragged_rows() {
+    let _ = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+}
+
+#[test]
+fn blocked_matmul_is_bit_identical_to_the_naive_loop() {
+    let mut rng = Rng::seed_from_u64(400);
+    for case in 0..CASES {
+        let (m, k, n) = random_dims(case, &mut rng);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        assert_bits_eq(&a.matmul(&b), &naive_matmul(&a, &b), "matmul", case);
+    }
+}
+
+#[test]
+fn blocked_tmatmul_is_bit_identical_to_the_naive_loop() {
+    let mut rng = Rng::seed_from_u64(401);
+    for case in 0..CASES {
+        let (m, k, n) = random_dims(case, &mut rng);
+        let a = random_tensor(k, m, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        assert_bits_eq(&a.tmatmul(&b), &naive_tmatmul(&a, &b), "tmatmul", case);
+    }
+}
+
+#[test]
+fn blocked_matmul_t_is_bit_identical_to_the_naive_loop() {
+    let mut rng = Rng::seed_from_u64(402);
+    for case in 0..CASES {
+        let (m, k, n) = random_dims(case, &mut rng);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(n, k, &mut rng);
+        assert_bits_eq(&a.matmul_t(&b), &naive_matmul_t(&a, &b), "matmul_t", case);
+    }
+}
+
+/// The `_into` kernels must fully overwrite a reused buffer: one dirty
+/// `Tensor` is threaded through all 100 cases with shapes that never
+/// match its previous contents, and each result must equal a fresh
+/// allocation bit-for-bit.
+#[test]
+fn into_kernels_overwrite_dirty_reused_buffers() {
+    let mut rng = Rng::seed_from_u64(403);
+    let mut out = Tensor::from_vec(5, 7, vec![f32::NAN; 35]); // poisoned start
+    for case in 0..CASES {
+        let (m, k, n) = random_dims(case, &mut rng);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        a.matmul_into(&b, &mut out);
+        assert_bits_eq(&out, &a.matmul(&b), "matmul_into reuse", case);
+
+        let bt = random_tensor(n, k, &mut rng);
+        a.matmul_t_into(&bt, &mut out);
+        assert_bits_eq(&out, &a.matmul_t(&bt), "matmul_t_into reuse", case);
+
+        let at = random_tensor(k, m, &mut rng);
+        at.tmatmul_into(&b, &mut out);
+        assert_bits_eq(&out, &at.tmatmul(&b), "tmatmul_into reuse", case);
+    }
+}
+
+/// Fused bias + activation epilogue == matmul, then broadcast bias add,
+/// then elementwise activation — bit-for-bit, for both epilogues.
+#[test]
+fn fused_bias_act_matches_the_unfused_sequence() {
+    let mut rng = Rng::seed_from_u64(404);
+    let mut out = Tensor::default();
+    for case in 0..CASES {
+        let (m, k, n) = random_dims(case, &mut rng);
+        let a = random_tensor(m, k, &mut rng);
+        let w = random_tensor(k, n, &mut rng);
+        let bias = random_tensor(1, n, &mut rng);
+        let act = if case % 2 == 0 {
+            Act::Relu
+        } else {
+            Act::Identity
+        };
+
+        let mut reference = a.matmul(&w);
+        for r in 0..m {
+            for (o, &bv) in reference.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o = act.apply(*o + bv);
+            }
+        }
+        a.matmul_bias_act_into(&w, &bias, act, &mut out);
+        assert_bits_eq(&out, &reference, "fused bias+act", case);
+    }
+}
+
+/// A `Dense` with a fused ReLU must be indistinguishable from the same
+/// `Dense` followed by a standalone `ReLU` layer — the refactor that
+/// removed the separate layers from `ActorCritic::mlp` and the bench
+/// actor relies on this.
+#[test]
+fn fused_dense_forward_matches_dense_then_relu_layer() {
+    for seed in 0..20u64 {
+        let mut rng_a = Rng::seed_from_u64(500 + seed);
+        let mut rng_b = Rng::seed_from_u64(500 + seed);
+        let mut shape_rng = Rng::seed_from_u64(600 + seed);
+        let (m, k, n) = random_dims(seed as usize, &mut shape_rng);
+        let mut fused = Dense::new(k, n, Init::HeUniform, &mut rng_a).with_act(Act::Relu);
+        let mut plain = Dense::new(k, n, Init::HeUniform, &mut rng_b);
+        let x = random_tensor(m, k, &mut shape_rng);
+        let fused_y = fused.forward(&x);
+        let plain_y = ReLU::new().forward(&plain.forward(&x));
+        assert_bits_eq(&fused_y, &plain_y, "fused Dense", seed as usize);
+    }
+}
