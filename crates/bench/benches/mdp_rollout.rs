@@ -1,13 +1,16 @@
 //! Microbenchmark: A2C training rollout throughput (environment steps per
-//! second) at 1, 2 and 4 asynchronous workers, on the chain MDP with a
+//! second) at 1, 2 and 4 logical rollout streams, on the chain MDP with a
 //! Pensieve-scale MLP actor/critic.
 //!
-//! The interesting number is the multi-worker speedup over one worker:
-//! workers only serialize on the parameter-server mutex (parameter copy +
-//! optimizer step), so on a multi-core machine throughput should scale
-//! close to linearly until the optimizer step saturates the lock. The
-//! report records `hardware_threads` alongside the measurements — on a
-//! single-core container the workers time-slice one CPU and the speedup
+//! Since the deterministic-runtime rewrite, `workers` configures
+//! *logical streams* — part of the training semantics, bit-identical
+//! regardless of how many OS threads execute them. The `train_workersN`
+//! entries therefore measure different workloads (N streams per round),
+//! while the `thread_scaling` section holds the workload fixed (4
+//! streams) and sweeps the `osa_runtime::ThreadPool` width from 1 up to
+//! the effective thread budget (`OSA_THREADS` or the host parallelism).
+//! The report records `hardware_threads` alongside the measurements — on
+//! a single-core container the lanes time-slice one CPU and the speedup
 //! is necessarily ≈ 1×, which is a property of the hardware, not the
 //! trainer.
 //!
@@ -96,12 +99,49 @@ fn main() {
     let speedup = best_multi / single;
     println!("best multi-worker speedup over single worker: {speedup:.2}x");
 
+    // Thread-scaling sweep: fixed workload (4 logical streams — the same
+    // gradients, bit for bit, every time), swept over explicit pool
+    // widths. Under `OSA_THREADS=1` this collapses to one entry, keeping
+    // CI baselines comparable across hosts.
+    const SWEEP_STREAMS: usize = 4;
+    let mut thread_scaling = Vec::new();
+    for w in 1..=osa_runtime::thread_budget() {
+        let pool = osa_runtime::ThreadPool::new(w);
+        let env_steps = (updates * ROLLOUT_LEN) as f64;
+        let stats = run_bench(&format!("train_pool{w}"), SAMPLES, || {
+            let env = ChainEnv::new(8);
+            let mut rng = Rng::seed_from_u64(42);
+            let mut ac = ActorCritic::mlp(env.num_states(), HIDDEN, 2, &mut rng);
+            let cfg = A2cConfig {
+                gamma: 0.95,
+                rollout_len: ROLLOUT_LEN,
+                workers: SWEEP_STREAMS,
+                updates,
+                seed: 42,
+                ..A2cConfig::default()
+            };
+            let report = train_with_pool(&mut ac, &env, &cfg, &pool);
+            assert_eq!(report.updates, updates as u64);
+            std::hint::black_box(report.env_steps);
+        });
+        let steps_per_sec = env_steps / (stats.median_ns as f64 * 1e-9);
+        println!("pool {w}: {steps_per_sec:>12.0} steps/sec ({SWEEP_STREAMS} streams)");
+        let mut entry = stats.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert("pool_workers".into(), Value::Num(w as f64));
+            map.insert("streams".into(), Value::Num(SWEEP_STREAMS as f64));
+            map.insert("steps_per_sec".into(), Value::Num(steps_per_sec.round()));
+        }
+        thread_scaling.push(entry);
+    }
+
     let report = obj(vec![
         ("bench", Value::Str("mdp_rollout".into())),
         ("env", Value::Str("chain-8".into())),
         ("hidden", Value::Num(HIDDEN as f64)),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
         ("results", Value::Arr(results)),
+        ("thread_scaling", Value::Arr(thread_scaling)),
         (
             "multi_worker_speedup",
             Value::Num((speedup * 100.0).round() / 100.0),

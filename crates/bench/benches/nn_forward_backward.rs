@@ -14,7 +14,11 @@
 //!
 //! which rewrites `BENCH_nn.json` at the repo root — the baseline the
 //! `bench_compare` gate measures later PRs against. Sample counts can be
-//! scaled with the env var `OSA_BENCH_SAMPLES` (default 200).
+//! scaled with the env var `OSA_BENCH_SAMPLES` (default 200). A
+//! `thread_scaling` section re-times the batch-32 pass under explicit
+//! `osa_runtime::ThreadPool` widths from 1 up to the effective thread
+//! budget (`OSA_THREADS` or the host's parallelism), one entry per
+//! `pool_workers` value.
 //!
 //! The actor exercises the zero-allocation hot path end to end: ReLUs are
 //! fused into their producing layers (`with_act`), every intermediate
@@ -235,11 +239,36 @@ fn main() {
     });
     results.push(with_mflops(&stats, 3.0 * actor.forward_flops(32)));
 
+    // Thread-scaling sweep: the same fwd+bwd workload pinned to explicit
+    // pool widths 1..=thread_budget(). Outputs are bit-identical across
+    // widths (the osa-runtime contract); only the latency may move. Under
+    // `OSA_THREADS=1` — how CI takes baselines — the sweep collapses to
+    // the single `pool_workers: 1` entry, so reports stay comparable
+    // across hosts with different core counts.
+    let mut thread_scaling = Vec::new();
+    for w in 1..=osa_runtime::thread_budget() {
+        let pool = osa_runtime::ThreadPool::new(w);
+        let stats = osa_runtime::with_pool(&pool, || {
+            run_bench(&format!("actor_fwd_bwd_batch32_pool{w}"), samples, || {
+                let probs = actor.forward_ws(&state32, &mut ws);
+                std::hint::black_box(&probs);
+                ws.recycle(probs);
+                actor.backward_ws(&upstream, &mut ws);
+            })
+        });
+        let mut entry = with_mflops(&stats, 3.0 * actor.forward_flops(32));
+        if let Value::Obj(map) = &mut entry {
+            map.insert("pool_workers".into(), Value::Num(w as f64));
+        }
+        thread_scaling.push(entry);
+    }
+
     let report = obj(vec![
         ("bench", Value::Str("nn_forward_backward".into())),
         ("seed", Value::Num(42.0)),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
         ("results", Value::Arr(results)),
+        ("thread_scaling", Value::Arr(thread_scaling)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_nn.json");
     osa_bench::write_report(path, report).expect("write BENCH_nn.json");

@@ -92,12 +92,45 @@ fn main() {
         results.push(entry);
     }
 
+    // Thread-scaling sweep: Norway corpus generation (the heaviest
+    // dataset: Markov regimes + per-sample noise) under explicit pool
+    // widths. Each trace draws from its own pre-assigned sub-seed, so
+    // the corpus bytes are identical at every width — only the wall
+    // clock moves. Under `OSA_THREADS=1` this collapses to one entry.
+    let sweep_dataset = Dataset::Norway;
+    let mut thread_scaling = Vec::new();
+    for w in 1..=osa_runtime::thread_budget() {
+        let pool = osa_runtime::ThreadPool::new(w);
+        let name = format!("{}_generate_pool{w}", sweep_dataset.name());
+        let mut traces = Vec::new();
+        let gen = osa_runtime::with_pool(&pool, || {
+            run_bench(&name, SAMPLES, || {
+                traces = sweep_dataset.generate(count, TRACE_LEN, 42);
+            })
+        });
+        let gen_s = gen.median_ns as f64 * 1e-9;
+        let traces_per_sec = count as f64 / gen_s;
+        println!(
+            "{:12} pool {w}: {:>9.0} traces/s",
+            sweep_dataset.name(),
+            traces_per_sec
+        );
+        let mut entry = gen.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert("dataset".into(), Value::Str(sweep_dataset.name().into()));
+            map.insert("pool_workers".into(), Value::Num(w as f64));
+            map.insert("traces_per_sec".into(), Value::Num(traces_per_sec.round()));
+        }
+        thread_scaling.push(entry);
+    }
+
     let report = obj(vec![
         ("bench", Value::Str("trace_gen".into())),
         ("traces_per_dataset", Value::Num(count as f64)),
         ("trace_len", Value::Num(TRACE_LEN as f64)),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
         ("results", Value::Arr(results)),
+        ("thread_scaling", Value::Arr(thread_scaling)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
     osa_bench::write_report(path, report).expect("write BENCH_trace.json");

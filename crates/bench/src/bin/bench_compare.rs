@@ -13,10 +13,19 @@
 //! and all regressions are printed before the process exits. CI snapshots
 //! the committed baselines before re-running the benches in smoke mode,
 //! then points this binary at both copies.
+//!
+//! Reports taken under different thread budgets (`hardware_threads`, or
+//! any per-entry thread-count field) are **refused**, not compared: a
+//! pooled run and a single-thread run measure different workloads, and
+//! diffing them would produce false regression verdicts. Refusal is a
+//! distinct outcome — exit code 3 and an `INCOMPARABLE` message — so CI
+//! can tell "this host/config changed" from "this code got slower".
+//!
+//! Exit codes: 0 ok, 1 regression(s), 2 usage/load error, 3 incomparable.
 
 use std::process::ExitCode;
 
-use osa_bench::compare::compare_reports;
+use osa_bench::compare::{check_comparable, compare_reports};
 use osa_nn::json::Value;
 
 fn load(path: &str) -> Result<Value, String> {
@@ -42,6 +51,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        if let Err(why) = check_comparable(&base, &cur) {
+            eprintln!("INCOMPARABLE {cur_path} vs {base_path}: {why}");
+            return ExitCode::from(3);
+        }
         let regressions = compare_reports(&base, &cur);
         if regressions.is_empty() {
             println!("ok: {cur_path} within tolerance of {base_path}");

@@ -92,10 +92,13 @@ pub mod counting_alloc {
     }
 }
 
-/// Hardware threads available to this process (1 if unknown) — recorded
-/// in every `BENCH_*.json` so baselines are comparable across hosts.
+/// Effective thread budget of this process — `OSA_THREADS` if set, else
+/// the hardware's available parallelism (see
+/// [`osa_runtime::thread_budget`]). Recorded in every `BENCH_*.json`;
+/// [`compare::check_comparable`] refuses to diff reports whose budgets
+/// differ, so CI pins `OSA_THREADS=1` around the bench gate.
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    osa_runtime::thread_budget()
 }
 
 /// Summary statistics of one [`run_bench`] series.
@@ -251,8 +254,72 @@ pub mod compare {
         }
     }
 
+    /// JSON keys that describe the thread context a report was taken
+    /// under, not a measured quantity. Reports that disagree on any of
+    /// them were produced by *different workloads* — a GEMM sharded over
+    /// 4 workers is not the single-thread GEMM the baseline timed — so
+    /// diffing their latencies yields false regression verdicts, and
+    /// [`check_comparable`] refuses instead.
+    const THREAD_KEYS: [&str; 3] = ["hardware_threads", "pool_workers", "workers"];
+
+    /// Collect every value of the thread-context keys, per key, in
+    /// document order (sorted afterwards so entry order is irrelevant).
+    fn thread_fingerprint(doc: &Value, out: &mut BTreeMap<String, Vec<u64>>) {
+        match doc {
+            Value::Obj(map) => {
+                for (key, child) in map {
+                    if let Value::Num(n) = child {
+                        if THREAD_KEYS.contains(&key.as_str()) {
+                            out.entry(key.clone()).or_default().push(*n as u64);
+                        }
+                    }
+                    thread_fingerprint(child, out);
+                }
+            }
+            Value::Arr(items) => {
+                for item in items {
+                    thread_fingerprint(item, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Refuse cross-thread-context comparisons: `Err` describes the first
+    /// `hardware_threads` / thread-count mismatch between the two
+    /// reports. This is a *refusal*, not a regression — `bench_compare`
+    /// exits with a distinct code (3) and message for it.
+    ///
+    /// A key recorded in only one of the two reports makes no claim: an
+    /// older baseline that predates a field cannot *disagree* about it,
+    /// and refusing on absence would block every report-format migration
+    /// forever. Refusal requires both reports to record the key with
+    /// different value sets.
+    pub fn check_comparable(baseline: &Value, current: &Value) -> Result<(), String> {
+        let (mut base, mut cur) = (BTreeMap::new(), BTreeMap::new());
+        thread_fingerprint(baseline, &mut base);
+        thread_fingerprint(current, &mut cur);
+        for key in THREAD_KEYS {
+            let (Some(b), Some(c)) = (base.get(key), cur.get(key)) else {
+                continue;
+            };
+            let (mut b, mut c) = (b.clone(), c.clone());
+            b.sort_unstable();
+            c.sort_unstable();
+            if b != c {
+                return Err(format!(
+                    "thread context differs: {key} is {b:?} in baseline but {c:?} in current \
+                     report; re-run both under the same OSA_THREADS budget"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Compare `current` against `baseline`; each returned string is one
     /// human-readable regression. Empty means the gate passes.
+    /// Callers should run [`check_comparable`] first — this function
+    /// assumes the reports came from the same thread context.
     ///
     /// Rules, per gated metric:
     /// - `*_ns`: fail when `current > baseline × (1 + TOLERANCE)`;
@@ -412,6 +479,71 @@ mod tests {
         let base = sample_report(1000.0, 5.0);
         let cur = sample_report(10.0, 0.0);
         assert_eq!(compare::compare_reports(&base, &cur), Vec::<String>::new());
+    }
+
+    fn threaded_report(hw: f64, pool_workers: &[f64]) -> Value {
+        obj(vec![
+            ("bench", Value::Str("demo".into())),
+            ("hardware_threads", Value::Num(hw)),
+            (
+                "results",
+                Value::Arr(
+                    pool_workers
+                        .iter()
+                        .map(|&w| {
+                            obj(vec![
+                                ("name", Value::Str(format!("k_pool{w}"))),
+                                ("pool_workers", Value::Num(w)),
+                                ("median_ns", Value::Num(1000.0)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn comparable_when_thread_context_matches() {
+        let base = threaded_report(1.0, &[1.0, 2.0]);
+        let cur = threaded_report(1.0, &[1.0, 2.0]);
+        assert!(compare::check_comparable(&base, &cur).is_ok());
+    }
+
+    #[test]
+    fn refuses_on_hardware_threads_mismatch() {
+        let base = threaded_report(1.0, &[1.0]);
+        let cur = threaded_report(4.0, &[1.0]);
+        let why = compare::check_comparable(&base, &cur).unwrap_err();
+        assert!(why.contains("hardware_threads"), "{why}");
+    }
+
+    #[test]
+    fn refuses_on_thread_count_field_mismatch() {
+        // Same budget, but the sweep covered different pool sizes — the
+        // entries don't describe the same workloads.
+        let base = threaded_report(4.0, &[1.0, 2.0]);
+        let cur = threaded_report(4.0, &[1.0, 2.0, 4.0]);
+        let why = compare::check_comparable(&base, &cur).unwrap_err();
+        assert!(why.contains("pool_workers"), "{why}");
+    }
+
+    #[test]
+    fn reports_without_thread_fields_stay_comparable() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = sample_report(900.0, 0.0);
+        assert!(compare::check_comparable(&base, &cur).is_ok());
+    }
+
+    /// Format migration: a baseline that predates a thread-context key
+    /// (e.g. `pool_workers` before the runtime sweep existed) makes no
+    /// claim about it and must not trigger a refusal.
+    #[test]
+    fn key_recorded_on_only_one_side_is_not_a_mismatch() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = threaded_report(1.0, &[1.0]);
+        assert!(compare::check_comparable(&base, &cur).is_ok());
+        assert!(compare::check_comparable(&cur, &base).is_ok());
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! running. (`cargo test` runs each integration test binary as a separate
 //! process, and within the binary this is the only `#[test]`.)
 //!
-//! It replicates the single-worker body of `osa_mdp::a2c::worker_loop`
-//! inline — same calls, same order, but without `std::thread::scope` and
-//! the `Mutex`, which belong to the concurrency layer, not the hot path.
+//! It replicates the single-stream body of the `osa_mdp::a2c` trainer
+//! (`Stream::step` plus the serial gradient application) inline — same
+//! calls, same order, but without the thread pool, which belongs to the
+//! concurrency layer, not the hot path. The pooled counterpart is
+//! `tests/zero_alloc_pool.rs`, which drives the real `Trainer` through a
+//! multi-worker `osa_runtime::ThreadPool`.
 //! The first iterations size every buffer (workspace pool, rollout
 //! buffers, Adam moments, parameter/gradient vectors); after that warmup
 //! the loop must not touch the heap at all. If someone reintroduces a

@@ -1,0 +1,84 @@
+//! Proof that the steady-state A2C training round stays allocation-free
+//! when it runs on a real multi-worker `osa_runtime::ThreadPool`.
+//!
+//! `tests/zero_alloc.rs` pins the single-stream hot path by inlining it;
+//! this binary pins the *dispatch* layer on top: `Trainer::round` with
+//! four logical streams fanned out over a four-lane pool must not touch
+//! the heap either. The pool's epoch-based task publication carries a
+//! borrowed closure (no boxing), `parallel_for_slice` hands each lane a
+//! disjoint sub-slice of the stream array, and every stream owns
+//! persistent rollout/gradient buffers sized during warmup — so after
+//! the first rounds there is nothing left to allocate.
+//!
+//! Like its sibling, this test lives in its own integration-test binary
+//! because `CountingAlloc` is process-global state.
+
+use osa_bench::counting_alloc::{allocations, CountingAlloc};
+use osa_mdp::envs::chain::ChainEnv;
+use osa_mdp::prelude::*;
+use osa_nn::rng::Rng;
+use osa_runtime::ThreadPool;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const POOL_WORKERS: usize = 4;
+const STREAMS: usize = 4;
+const WARMUP_ROUNDS: usize = 10;
+const MEASURED_ROUNDS: usize = 25;
+
+#[test]
+fn steady_state_pooled_a2c_round_is_allocation_free() {
+    let env = ChainEnv::new(6);
+    let cfg = A2cConfig {
+        workers: STREAMS,
+        // Large enough that warmup + measurement never hits the
+        // end-of-training tail truncation.
+        updates: ((WARMUP_ROUNDS + MEASURED_ROUNDS + 1) * STREAMS),
+        rollout_len: 32,
+        gamma: 0.95,
+        ..A2cConfig::default()
+    };
+    let mut rng = Rng::seed_from_u64(9);
+    let ac = ActorCritic::mlp(env.num_states(), 32, 2, &mut rng);
+
+    let pool = ThreadPool::new(POOL_WORKERS);
+    let mut trainer = Trainer::new(ac, &env, &cfg);
+    // Report-side episode vectors grow amortized as episodes complete;
+    // give them headroom up front so that growth can't masquerade as a
+    // hot-path allocation.
+    trainer.reserve_episode_capacity(4096);
+
+    for _ in 0..WARMUP_ROUNDS {
+        trainer.round(&pool);
+    }
+
+    let before = allocations();
+    for _ in 0..MEASURED_ROUNDS {
+        trainer.round(&pool);
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pooled A2C round touched the heap \
+         ({} allocations over {MEASURED_ROUNDS} rounds on a \
+         {POOL_WORKERS}-worker pool)",
+        after - before
+    );
+
+    // Sanity: the rounds above genuinely trained.
+    let done = trainer.updates_done();
+    assert_eq!(
+        done,
+        ((WARMUP_ROUNDS + MEASURED_ROUNDS) * STREAMS) as u64,
+        "expected every round to apply all {STREAMS} stream gradients"
+    );
+    let (_, report) = trainer.finish();
+    assert!(
+        !report.episode_returns.is_empty()
+            && report.episode_returns.len() == report.episode_lengths.len(),
+        "expected completed episodes during the measured window"
+    );
+}

@@ -1,34 +1,40 @@
-//! Advantage actor-critic training with A3C-style asynchronous parallel
-//! workers.
+//! Advantage actor-critic training with synchronous parallel rollout
+//! streams on the deterministic `osa-runtime` thread pool.
 //!
 //! # Architecture
 //!
 //! One [`ActorCritic`] pair (actor: obs → logits, critic: obs → scalar)
-//! lives in a `Mutex`-guarded parameter server together with its two
-//! optimizers and a monotonically increasing *parameter version*. Each
-//! worker (a `std::thread::scope` thread; the workspace is std-only, so
-//! no crossbeam/parking_lot) owns a private environment and an
-//! architecturally identical local replica, and loops:
+//! lives in the [`Trainer`] together with its two optimizers. Training is
+//! organized around `cfg.workers` *logical streams*; each stream owns a
+//! private environment, an independent RNG derived from `cfg.seed`, and
+//! an architecturally identical local replica. A round is:
 //!
-//! 1. lock, copy the server's parameters into the replica, unlock;
-//! 2. collect a `rollout_len`-step fragment with the replica
-//!    ([`crate::rollout::Collector`] carries episodes across fragments);
-//! 3. compute GAE(γ, λ) advantages and λ-return critic targets;
-//! 4. run the fused softmax policy-gradient + entropy-bonus backward pass
-//!    and the critic MSE backward pass on the replica, clip both
-//!    gradients to a global norm;
-//! 5. lock, apply the gradients to the server's nets through the shared
-//!    optimizers, bump the version, record stats, unlock.
+//! 1. snapshot the server parameters once (flat copies);
+//! 2. **in parallel across pool lanes**, each stream syncs its replica,
+//!    collects a `rollout_len`-step fragment
+//!    ([`crate::rollout::Collector`] carries episodes across fragments),
+//!    computes GAE(γ, λ) advantages and λ-return critic targets, runs the
+//!    fused softmax policy-gradient + entropy-bonus backward pass and the
+//!    critic MSE backward pass, and clips both gradients to a global
+//!    norm;
+//! 3. serially, **in stream order**, apply each stream's gradients to the
+//!    server nets through the shared optimizers.
 //!
-//! Workers never block each other during (2)–(4), the expensive part;
-//! the lock is held only for parameter copies and optimizer steps. As in
-//! A3C, gradients may be one version stale when applied — the classic
-//! asynchronous trade that buys near-linear rollout throughput. With
-//! `workers == 1` the whole procedure is strictly sequential and
-//! therefore bit-reproducible from the seed (pinned by
-//! `tests/convergence.rs`).
-
-use std::sync::Mutex;
+//! Unlike the A3C-style asynchronous server this module shipped with
+//! originally, the result is a pure function of `(cfg, seed)`: streams
+//! never observe each other, the gradient application order is fixed, and
+//! the pool only decides *which lane* computes a stream — so final
+//! parameters are **bit-identical for every pool size**, including the
+//! inline `workers = 1` pool (pinned by `tests/determinism_pool.rs`).
+//! Gradients within a round are computed against the round's starting
+//! parameters — the same one-version staleness A3C tolerates, now paid
+//! deterministically. With `cfg.workers == 1` the procedure is strictly
+//! sequential and reproduces the original single-worker trajectory
+//! (pinned by `tests/convergence.rs`).
+//!
+//! Steady-state rounds perform no heap allocation: every stream owns
+//! persistent buffers and a `Workspace` arena sized on the first round
+//! (pinned by the counting-allocator tests in `osa-bench`).
 
 use osa_nn::loss;
 use osa_nn::optim::Adam;
@@ -36,6 +42,7 @@ use osa_nn::prelude::{Dense, Init, Sequential};
 use osa_nn::rng::Rng;
 use osa_nn::tensor::{Act, Tensor};
 use osa_nn::workspace::Workspace;
+use osa_runtime::ThreadPool;
 
 use crate::env::{Env, Policy, ValueFunction};
 use crate::gae::{gae_into, normalize_advantages};
@@ -238,11 +245,14 @@ pub struct A2cConfig {
     pub rollout_len: usize,
     /// Global-norm gradient clip applied to actor and critic separately.
     pub max_grad_norm: f32,
-    /// Parallel workers; 1 ⇒ fully deterministic training.
+    /// Logical rollout streams. Part of the *semantics* of a run (it
+    /// fixes how many fragments are collected per round), not of its
+    /// schedule: any pool size yields bit-identical results for a given
+    /// `workers`, and `workers = 1` is strictly sequential.
     pub workers: usize,
-    /// Total gradient updates across all workers.
+    /// Total gradient updates across all streams.
     pub updates: usize,
-    /// Master seed; worker `w` derives an independent stream from it.
+    /// Master seed; stream `w` derives an independent RNG from it.
     pub seed: u64,
     /// Standardize advantages per fragment before the policy gradient.
     pub normalize_advantages: bool,
@@ -276,8 +286,10 @@ pub struct TrainReport {
     /// Final parameter version (== `updates`; exposed for staleness
     /// diagnostics and the bench harness).
     pub param_version: u64,
-    /// Undiscounted returns of completed episodes, in server-arrival
-    /// order. With one worker this is the exact training curve.
+    /// Undiscounted returns of completed episodes, in gradient
+    /// application order (stream order within each round) — deterministic
+    /// for any pool size. With one stream this is the exact training
+    /// curve.
     pub episode_returns: Vec<f32>,
     /// Length (in transitions) of each completed episode, parallel to
     /// `episode_returns` — the improvement signal for environments whose
@@ -302,153 +314,271 @@ impl TrainReport {
     }
 }
 
-/// The shared parameter server: nets, optimizers, version, stats.
-struct Server {
+/// One logical rollout stream: a private environment, RNG, replica, and
+/// every persistent buffer its gradient computation needs. Streams are
+/// fully independent between rounds' serial phases, which is what lets
+/// the pool run them on any lane without changing a single bit.
+struct Stream<E: Env> {
+    collector: Collector<E>,
+    rng: Rng,
+    local: ActorCritic,
+    ro: Rollout,
+    adv: Vec<f32>,
+    targets: Vec<f32>,
+    actor_grads: Vec<f32>,
+    critic_grads: Vec<f32>,
+    ws: Workspace,
+    grad_logits: Tensor,
+    target_mat: Tensor,
+    grad_values: Tensor,
+    pg_loss: f32,
+    entropy: f32,
+    value_loss: f32,
+}
+
+impl<E: Env> Stream<E> {
+    /// Sync the replica to the round-start parameters, collect one
+    /// fragment, and leave clipped gradients + stats in `self`. Runs on
+    /// an arbitrary pool lane; touches nothing outside `self`.
+    ///
+    /// The math is unchanged from the original single-worker loop, so
+    /// steady-state calls perform no heap allocation: the first round
+    /// sizes every buffer, later rounds reuse the capacity.
+    fn step(&mut self, actor_params: &[f32], critic_params: &[f32], cfg: &A2cConfig) {
+        self.local.actor.set_params_from_vec(actor_params);
+        self.local.critic.set_params_from_vec(critic_params);
+
+        self.collector.collect_into(
+            &mut self.local,
+            cfg.rollout_len,
+            &mut self.rng,
+            &mut self.ro,
+        );
+        gae_into(
+            &self.ro.rewards,
+            &self.ro.values,
+            &self.ro.dones,
+            self.ro.bootstrap,
+            cfg.gamma,
+            cfg.lambda,
+            &mut self.adv,
+        );
+        self.targets.clear();
+        self.targets
+            .extend(self.adv.iter().zip(&self.ro.values).map(|(a, v)| a + v));
+        if cfg.normalize_advantages {
+            normalize_advantages(&mut self.adv);
+        }
+
+        let obs = self.ro.observation_matrix();
+        let logits = self.local.actor.forward_ws(obs, &mut self.ws);
+        let (pg_loss, entropy) = policy_gradient_loss_into(
+            &logits,
+            &self.ro.actions,
+            &self.adv,
+            cfg.entropy_coef,
+            &mut self.grad_logits,
+        );
+        self.ws.recycle(logits);
+        let g = self
+            .local
+            .actor
+            .backward_ws(&self.grad_logits, &mut self.ws);
+        self.ws.recycle(g);
+        self.local.actor.clip_grad_global_norm(cfg.max_grad_norm);
+
+        let predicted = self.local.critic.forward_ws(obs, &mut self.ws);
+        self.target_mat.resize_shape(self.targets.len(), 1);
+        self.target_mat.data_mut().copy_from_slice(&self.targets);
+        let value_loss = loss::mse_into(&predicted, &self.target_mat, &mut self.grad_values);
+        self.ws.recycle(predicted);
+        let g = self
+            .local
+            .critic
+            .backward_ws(&self.grad_values, &mut self.ws);
+        self.ws.recycle(g);
+        self.local.critic.clip_grad_global_norm(cfg.max_grad_norm);
+
+        self.local.actor.copy_grads_into(&mut self.actor_grads);
+        self.local.critic.copy_grads_into(&mut self.critic_grads);
+        self.pg_loss = pg_loss;
+        self.entropy = entropy;
+        self.value_loss = value_loss;
+    }
+}
+
+/// Synchronous deterministic A2C driver: owns the server nets, the
+/// optimizers, and `cfg.workers` logical [`Stream`]s, and advances
+/// training one round at a time. Most callers use [`train`]; the bench
+/// and zero-allocation harnesses drive [`Trainer::round`] directly so
+/// they can warm up and then measure steady-state rounds.
+pub struct Trainer<E: Env> {
+    cfg: A2cConfig,
     ac: ActorCritic,
     actor_opt: Adam,
     critic_opt: Adam,
+    streams: Vec<Stream<E>>,
+    actor_params: Vec<f32>,
+    critic_params: Vec<f32>,
     updates_done: u64,
     report: TrainReport,
 }
 
-/// Train `ac` on `env` with `cfg.workers` asynchronous workers, in place.
-///
-/// Each worker clones `env`, so the environment type carries its own
-/// initial-state template; per-worker stochasticity comes from the
-/// explicit RNG streams derived from `cfg.seed`, not from the clone.
-pub fn train<E: Env + Clone + Send>(ac: &mut ActorCritic, env: &E, cfg: &A2cConfig) -> TrainReport {
-    assert!(cfg.workers >= 1, "need at least one worker");
-    assert!(cfg.updates >= 1, "need at least one update");
-    assert!(
-        cfg.rollout_len >= 1,
-        "need at least one transition per update"
-    );
-
-    let server = Mutex::new(Server {
-        ac: std::mem::take(ac),
-        actor_opt: Adam::new(cfg.actor_lr),
-        critic_opt: Adam::new(cfg.critic_lr),
-        updates_done: 0,
-        report: TrainReport::default(),
-    });
-
-    std::thread::scope(|scope| {
-        for wid in 0..cfg.workers {
-            let env = env.clone();
-            let server = &server;
-            scope.spawn(move || worker_loop(wid, env, server, cfg));
+impl<E: Env + Clone + Send> Trainer<E> {
+    /// Build the trainer, taking ownership of the nets. Each stream
+    /// clones `env`, so the environment type carries its own
+    /// initial-state template; per-stream stochasticity comes from the
+    /// RNG streams derived from `cfg.seed`, not from the clone. Stream 0
+    /// uses the master seed directly, so `workers = 1` runs are a pure
+    /// function of `cfg.seed` — and identical to the historical
+    /// single-worker trajectory.
+    pub fn new(ac: ActorCritic, env: &E, cfg: &A2cConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one stream");
+        assert!(cfg.updates >= 1, "need at least one update");
+        assert!(
+            cfg.rollout_len >= 1,
+            "need at least one transition per update"
+        );
+        let streams = (0..cfg.workers)
+            .map(|wid| {
+                let mut rng =
+                    Rng::seed_from_u64(cfg.seed ^ (wid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let local = ac.replicate();
+                let collector = Collector::new(env.clone(), &mut rng);
+                let mut ro = Rollout::default();
+                // Headroom so episode bookkeeping cannot allocate in
+                // steady state even for environments with short episodes.
+                ro.episode_returns.reserve(64);
+                ro.episode_lengths.reserve(64);
+                Stream {
+                    collector,
+                    rng,
+                    local,
+                    ro,
+                    adv: Vec::new(),
+                    targets: Vec::new(),
+                    actor_grads: Vec::new(),
+                    critic_grads: Vec::new(),
+                    ws: Workspace::new(),
+                    grad_logits: Tensor::default(),
+                    target_mat: Tensor::default(),
+                    grad_values: Tensor::default(),
+                    pg_loss: 0.0,
+                    entropy: 0.0,
+                    value_loss: 0.0,
+                }
+            })
+            .collect();
+        let mut report = TrainReport::default();
+        report.episode_returns.reserve(1024);
+        report.episode_lengths.reserve(1024);
+        Trainer {
+            actor_opt: Adam::new(cfg.actor_lr),
+            critic_opt: Adam::new(cfg.critic_lr),
+            cfg: cfg.clone(),
+            ac,
+            streams,
+            actor_params: Vec::new(),
+            critic_params: Vec::new(),
+            updates_done: 0,
+            report,
         }
-    });
+    }
 
-    let server = server.into_inner().expect("no worker may panic");
-    *ac = server.ac;
-    let mut report = server.report;
-    report.updates = server.updates_done;
-    report.param_version = server.updates_done;
-    report
+    /// Grow the episode-statistics headroom (e.g. before a long
+    /// allocation-counted run).
+    pub fn reserve_episode_capacity(&mut self, episodes: usize) {
+        self.report.episode_returns.reserve(episodes);
+        self.report.episode_lengths.reserve(episodes);
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.updates_done >= self.cfg.updates as u64
+    }
+
+    pub fn updates_done(&self) -> u64 {
+        self.updates_done
+    }
+
+    /// One training round: snapshot the server parameters, run every
+    /// stream's rollout + gradient phase across the pool lanes, then
+    /// apply the gradients serially in stream order. The last round of a
+    /// run applies only as many streams as updates remain, so the total
+    /// is exactly `cfg.updates` regardless of `cfg.workers`.
+    ///
+    /// Steady-state rounds are allocation-free (pinned by
+    /// `crates/bench/tests/zero_alloc_pool.rs`).
+    pub fn round(&mut self, pool: &ThreadPool) {
+        if self.is_done() {
+            return;
+        }
+        self.ac.actor.copy_params_into(&mut self.actor_params);
+        self.ac.critic.copy_params_into(&mut self.critic_params);
+        let actor_params = self.actor_params.as_slice();
+        let critic_params = self.critic_params.as_slice();
+        let cfg = &self.cfg;
+        // Parallel phase: streams are data-disjoint, so the pool may run
+        // them on any lane in any interleaving without affecting results.
+        // Nested GEMM dispatches inside a stream degrade to inline.
+        pool.parallel_for_slice(&mut self.streams, 1, |_, _, chunk| {
+            for stream in chunk {
+                stream.step(actor_params, critic_params, cfg);
+            }
+        });
+        // Serial phase: fixed application order = fixed final parameters.
+        let remaining = self.cfg.updates as u64 - self.updates_done;
+        let take = (self.streams.len() as u64).min(remaining) as usize;
+        for stream in &mut self.streams[..take] {
+            self.ac.actor.set_grads_from_vec(&stream.actor_grads);
+            self.ac.actor.step(&mut self.actor_opt);
+            self.ac.critic.set_grads_from_vec(&stream.critic_grads);
+            self.ac.critic.step(&mut self.critic_opt);
+            self.updates_done += 1;
+            self.report.env_steps += stream.ro.len() as u64;
+            self.report
+                .episode_returns
+                .extend_from_slice(&stream.ro.episode_returns);
+            self.report
+                .episode_lengths
+                .extend_from_slice(&stream.ro.episode_lengths);
+            self.report.final_entropy = stream.entropy;
+            self.report.final_policy_loss = stream.pg_loss;
+            self.report.final_value_loss = stream.value_loss;
+        }
+    }
+
+    /// Tear down into the trained nets and the final report.
+    pub fn finish(mut self) -> (ActorCritic, TrainReport) {
+        self.report.updates = self.updates_done;
+        self.report.param_version = self.updates_done;
+        (self.ac, self.report)
+    }
 }
 
-fn worker_loop<E: Env>(wid: usize, env: E, server: &Mutex<Server>, cfg: &A2cConfig) {
-    // Independent stream per worker; worker 0 uses the master seed
-    // directly, so single-worker runs are a pure function of `cfg.seed`.
-    let mut rng = Rng::seed_from_u64(cfg.seed ^ (wid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-    let mut local = server.lock().expect("server lock").ac.replicate();
-    let mut collector = Collector::new(env, &mut rng);
+/// Train `ac` on `env` with `cfg.workers` logical streams, in place, on
+/// the current thread pool ([`osa_runtime::with_current`] — the
+/// [`osa_runtime::global`] pool unless overridden via
+/// [`osa_runtime::with_pool`]).
+///
+/// The result is bit-identical for every pool size; see the module docs.
+pub fn train<E: Env + Clone + Send>(ac: &mut ActorCritic, env: &E, cfg: &A2cConfig) -> TrainReport {
+    osa_runtime::with_current(|pool| train_with_pool(ac, env, cfg, pool))
+}
 
-    // Persistent buffers: the first iteration sizes them, every later one
-    // reuses the capacity, so the steady-state loop body performs no heap
-    // allocation (pinned by the counting-allocator test in `osa-bench`).
-    let mut ro = Rollout::default();
-    let mut adv: Vec<f32> = Vec::new();
-    let mut targets: Vec<f32> = Vec::new();
-    let mut actor_params: Vec<f32> = Vec::new();
-    let mut critic_params: Vec<f32> = Vec::new();
-    let mut actor_grads: Vec<f32> = Vec::new();
-    let mut critic_grads: Vec<f32> = Vec::new();
-    let mut ws = Workspace::new();
-    let mut grad_logits = Tensor::default();
-    let mut target_mat = Tensor::default();
-    let mut grad_values = Tensor::default();
-
-    loop {
-        // Sync the replica to the freshest parameters.
-        {
-            let mut guard = server.lock().expect("server lock");
-            if guard.updates_done >= cfg.updates as u64 {
-                break;
-            }
-            guard.ac.actor.copy_params_into(&mut actor_params);
-            guard.ac.critic.copy_params_into(&mut critic_params);
-            drop(guard);
-            local.actor.set_params_from_vec(&actor_params);
-            local.critic.set_params_from_vec(&critic_params);
-        }
-
-        // Rollout + gradients, entirely outside the lock.
-        collector.collect_into(&mut local, cfg.rollout_len, &mut rng, &mut ro);
-        gae_into(
-            &ro.rewards,
-            &ro.values,
-            &ro.dones,
-            ro.bootstrap,
-            cfg.gamma,
-            cfg.lambda,
-            &mut adv,
-        );
-        targets.clear();
-        targets.extend(adv.iter().zip(&ro.values).map(|(a, v)| a + v));
-        if cfg.normalize_advantages {
-            normalize_advantages(&mut adv);
-        }
-
-        let obs = ro.observation_matrix();
-        let logits = local.actor.forward_ws(obs, &mut ws);
-        let (pg_loss, entropy) = policy_gradient_loss_into(
-            &logits,
-            &ro.actions,
-            &adv,
-            cfg.entropy_coef,
-            &mut grad_logits,
-        );
-        ws.recycle(logits);
-        let g = local.actor.backward_ws(&grad_logits, &mut ws);
-        ws.recycle(g);
-        local.actor.clip_grad_global_norm(cfg.max_grad_norm);
-
-        let predicted = local.critic.forward_ws(obs, &mut ws);
-        target_mat.resize_shape(targets.len(), 1);
-        target_mat.data_mut().copy_from_slice(&targets);
-        let value_loss = loss::mse_into(&predicted, &target_mat, &mut grad_values);
-        ws.recycle(predicted);
-        let g = local.critic.backward_ws(&grad_values, &mut ws);
-        ws.recycle(g);
-        local.critic.clip_grad_global_norm(cfg.max_grad_norm);
-
-        local.actor.copy_grads_into(&mut actor_grads);
-        local.critic.copy_grads_into(&mut critic_grads);
-
-        // Apply to the shared nets; possibly one version stale (A3C).
-        let mut guard = server.lock().expect("server lock");
-        if guard.updates_done >= cfg.updates as u64 {
-            break;
-        }
-        let s = &mut *guard;
-        s.ac.actor.set_grads_from_vec(&actor_grads);
-        s.ac.actor.step(&mut s.actor_opt);
-        s.ac.critic.set_grads_from_vec(&critic_grads);
-        s.ac.critic.step(&mut s.critic_opt);
-        s.updates_done += 1;
-        s.report.env_steps += ro.len() as u64;
-        s.report
-            .episode_returns
-            .extend_from_slice(&ro.episode_returns);
-        s.report
-            .episode_lengths
-            .extend_from_slice(&ro.episode_lengths);
-        s.report.final_entropy = entropy;
-        s.report.final_policy_loss = pg_loss;
-        s.report.final_value_loss = value_loss;
+/// [`train`] on an explicit pool — for worker-count sweeps and tests.
+pub fn train_with_pool<E: Env + Clone + Send>(
+    ac: &mut ActorCritic,
+    env: &E,
+    cfg: &A2cConfig,
+    pool: &ThreadPool,
+) -> TrainReport {
+    let mut trainer = Trainer::new(std::mem::take(ac), env, cfg);
+    while !trainer.is_done() {
+        trainer.round(pool);
     }
+    let (trained, report) = trainer.finish();
+    *ac = trained;
+    report
 }
 
 #[cfg(test)]

@@ -15,10 +15,9 @@
 //! - [`gae`] — discounted returns and generalized advantage estimation
 //!   GAE(γ, λ);
 //! - [`a2c`] — the A2C trainer: softmax policy gradient with entropy
-//!   bonus, critic MSE, global-norm gradient clipping, and A3C-style
-//!   asynchronous workers on `std::thread::scope` sharing a
-//!   `Mutex`-guarded parameter server (std-only: no crossbeam or
-//!   parking_lot);
+//!   bonus, critic MSE, global-norm gradient clipping, and synchronous
+//!   parallel rollout streams on the deterministic `osa-runtime` thread
+//!   pool — final parameters are bit-identical for every pool size;
 //! - [`envs`] — deterministic in-crate environments with known optima
 //!   ([`envs::ChainEnv`], [`envs::ContextBanditEnv`]) proving trainer
 //!   correctness in `tests/`.
@@ -57,7 +56,8 @@ pub mod gae;
 pub mod rollout;
 
 pub use a2c::{
-    policy_gradient_loss, policy_gradient_loss_into, train, A2cConfig, ActorCritic, TrainReport,
+    policy_gradient_loss, policy_gradient_loss_into, train, train_with_pool, A2cConfig,
+    ActorCritic, TrainReport, Trainer,
 };
 pub use env::{sample_categorical, Env, Policy, Step, ValueFunction};
 pub use gae::{discounted_returns, gae, gae_into, normalize_advantages};
@@ -70,7 +70,8 @@ pub const DEFAULT_GAMMA: f32 = 0.99;
 /// One-stop import for downstream crates, examples, and tests.
 pub mod prelude {
     pub use crate::a2c::{
-        policy_gradient_loss, policy_gradient_loss_into, train, A2cConfig, ActorCritic, TrainReport,
+        policy_gradient_loss, policy_gradient_loss_into, train, train_with_pool, A2cConfig,
+        ActorCritic, TrainReport, Trainer,
     };
     pub use crate::env::{sample_categorical, Env, Policy, Step, ValueFunction};
     pub use crate::envs::{ChainEnv, ContextBanditEnv};

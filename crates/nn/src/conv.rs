@@ -146,27 +146,43 @@ impl Layer for Conv1d {
         );
         let out_len = self.out_len();
         let (k, l) = (self.kernel, self.length);
+        let (in_ch, out_ch, out_dim) = (self.in_channels, self.out_channels, self.out_dim());
+        let rows = input.rows();
         // Every element of the scratch buffer is written below.
-        let mut out = ws.take(input.rows(), self.out_dim());
-        for r in 0..input.rows() {
-            let x = input.row(r);
-            let orow = out.row_mut(r);
-            for oc in 0..self.out_channels {
-                let wrow = self.w.row(oc);
-                let bias = self.b.get(0, oc);
-                for t in 0..out_len {
-                    let mut acc = bias;
-                    for ic in 0..self.in_channels {
-                        let xw = &x[ic * l + t..ic * l + t + k];
-                        let ww = &wrow[ic * k..(ic + 1) * k];
-                        for (&xv, &wv) in xw.iter().zip(ww) {
-                            acc += xv * wv;
+        let mut out = ws.take(rows, out_dim);
+        let (w, b, act) = (&self.w, &self.b, self.act);
+        // One output row per input row, independent of every other row —
+        // sharded across the batch dimension through the same
+        // deterministic dispatch as the GEMM kernels (`par_rows`): each
+        // row is produced by exactly one lane with identical arithmetic,
+        // so results are bit-identical for any worker count.
+        let run_rows = |r0: std::ops::Range<usize>, orows: &mut [f32]| {
+            for (dr, orow) in orows.chunks_exact_mut(out_dim).enumerate() {
+                let x = input.row(r0.start + dr);
+                for oc in 0..out_ch {
+                    let wrow = w.row(oc);
+                    let bias = b.get(0, oc);
+                    for t in 0..out_len {
+                        let mut acc = bias;
+                        for ic in 0..in_ch {
+                            let xw = &x[ic * l + t..ic * l + t + k];
+                            let ww = &wrow[ic * k..(ic + 1) * k];
+                            for (&xv, &wv) in xw.iter().zip(ww) {
+                                acc += xv * wv;
+                            }
                         }
+                        orow[oc * out_len + t] = act.apply(acc);
                     }
-                    orow[oc * out_len + t] = self.act.apply(acc);
                 }
             }
-        }
+        };
+        crate::tensor::par_rows(
+            out.data_mut(),
+            rows,
+            out_dim,
+            rows * out_ch * out_len * in_ch * k,
+            run_rows,
+        );
         cache_slot(&mut self.cached_input, input);
         if self.act != Act::Identity {
             cache_slot(&mut self.cached_output, &out);

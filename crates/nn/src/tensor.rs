@@ -181,7 +181,10 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         out.resize_shape(m, n);
-        gemm_blocked(m, k, n, &self.data, &other.data, &mut out.data);
+        let (a, b) = (&self.data, &other.data);
+        par_rows(&mut out.data, m, n, m * k * n, |rows, o| {
+            gemm_rows(rows, k, n, a, b, o)
+        });
     }
 
     /// In-place fused dense forward:
@@ -228,60 +231,10 @@ impl Tensor {
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
         out.resize_shape(m, n);
-        let a = &self.data;
-        let b = &other.data;
-        let o = &mut out.data;
-        let mut i = 0;
-        // Register micro-kernel, mirroring `gemm_blocked`: a 4×8
-        // accumulator tile lives in registers across the whole k loop.
-        // The left operand is `(k × m)`, so the four `x` values per `p`
-        // sit contiguously at `a[p·m + i..]` — one 4-wide load.
-        while i + MR <= m {
-            let mut j = 0;
-            while j + NR <= n {
-                let mut acc = [[0.0f32; NR]; MR];
-                for p in 0..k {
-                    let xs: &[f32; MR] = a[p * m + i..p * m + i + MR]
-                        .try_into()
-                        .expect("MR-wide load");
-                    let brow: &[f32; NR] = b[p * n + j..p * n + j + NR]
-                        .try_into()
-                        .expect("NR-wide tile");
-                    for (accr, &x) in acc.iter_mut().zip(xs) {
-                        for (av, &bv) in accr.iter_mut().zip(brow) {
-                            *av += x * bv;
-                        }
-                    }
-                }
-                for (r, accr) in acc.iter().enumerate() {
-                    o[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
-                }
-                j += NR;
-            }
-            // Leftover columns: one serial dot per element, ascending `p`.
-            while j < n {
-                for r in 0..MR {
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += a[p * m + i + r] * b[p * n + j];
-                    }
-                    o[(i + r) * n + j] = acc;
-                }
-                j += 1;
-            }
-            i += MR;
-        }
-        // Leftover rows: one serial dot per element, ascending `p`.
-        while i < m {
-            for j in 0..n {
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a[p * m + i] * b[p * n + j];
-                }
-                o[i * n + j] = acc;
-            }
-            i += 1;
-        }
+        let (a, b) = (&self.data, &other.data);
+        par_rows(&mut out.data, m, n, m * k * n, |rows, o| {
+            tmatmul_rows(rows, k, m, n, a, b, o)
+        });
     }
 
     /// `self · otherᵀ` without materializing the transpose.
@@ -308,40 +261,10 @@ impl Tensor {
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
         out.resize_shape(m, n);
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            let mut j = 0;
-            while j + MR <= n {
-                let (b0, b1, b2, b3) = (
-                    &other.data[j * k..(j + 1) * k],
-                    &other.data[(j + 1) * k..(j + 2) * k],
-                    &other.data[(j + 2) * k..(j + 3) * k],
-                    &other.data[(j + 3) * k..(j + 4) * k],
-                );
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                    s0 += av * v0;
-                    s1 += av * v1;
-                    s2 += av * v2;
-                    s3 += av * v3;
-                }
-                orow[j] = s0;
-                orow[j + 1] = s1;
-                orow[j + 2] = s2;
-                orow[j + 3] = s3;
-                j += MR;
-            }
-            while j < n {
-                let brow = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    acc += av * bv;
-                }
-                orow[j] = acc;
-                j += 1;
-            }
-        }
+        let (a, b) = (&self.data, &other.data);
+        par_rows(&mut out.data, m, n, m * k * n, |rows, o| {
+            matmul_t_rows(rows, k, n, a, b, o)
+        });
     }
 
     /// Reshape to `(rows, cols)`, reusing the existing buffer whenever its
@@ -554,7 +477,40 @@ impl Tensor {
     }
 }
 
-/// Register-blocked GEMM core: `o[m×n] = a[m×k] · b[k×n]`.
+/// Minimum multiply-add count (`m·k·n`) before a GEMM kernel is worth
+/// dispatching to the thread pool. Below this the serial kernel finishes
+/// in a few microseconds and the dispatch hand-off would dominate; it
+/// also keeps every small test/hot-loop GEMM off the pool entirely, so
+/// `OSA_THREADS` has no effect on workloads that should stay inline.
+pub(crate) const PAR_MIN_MADDS: usize = 32 * 1024;
+
+/// Shard the `m` output rows of `out` (row stride `n`) across the current
+/// thread pool when `work = m·k·n` clears [`PAR_MIN_MADDS`], otherwise run
+/// `run(0..m, out)` inline. Each lane receives a contiguous, disjoint row
+/// range and its matching sub-slice of `out`, so every output element is
+/// computed by exactly one lane with the same ascending-`k` accumulation
+/// as the serial kernel — the result is bit-identical for any worker
+/// count (pinned by the worker sweep in `tests/kernels.rs`).
+pub(crate) fn par_rows(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    work: usize,
+    run: impl Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+) {
+    if m >= 2 && n >= 1 && work >= PAR_MIN_MADDS {
+        osa_runtime::with_current(|pool| {
+            pool.parallel_for_slice(out, n, |_, first, rows| {
+                run(first..first + rows.len() / n, rows);
+            });
+        });
+    } else {
+        run(0..m, out);
+    }
+}
+
+/// Register-blocked GEMM core over output rows `rows`:
+/// `o = a[rows×k] · b[k×n]`, where `o` holds exactly those rows.
 ///
 /// The output is tiled into [`MR`]`×`[`NR`] register blocks: each tile's
 /// 32 running sums stay in registers across the whole `k` loop while `b`
@@ -562,11 +518,27 @@ impl Tensor {
 /// instead of a load+store per `k` step, and every `b` element loaded
 /// feeds four multiply-add lanes. For each output element the `k` partial
 /// products are still added in ascending-`p` order, which is what keeps
-/// the tiled result bit-identical to the naive i-k-j loop on finite
-/// inputs (`±0.0` aside, which `f32` equality cannot distinguish).
-fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], o: &mut [f32]) {
-    let mut i = 0;
-    while i + MR <= m {
+/// the tiled result bit-identical to the naive i-k-j loop — for any row
+/// sharding, since arithmetic is per-row and identical in every path.
+///
+/// Zero inputs (`a[i,p] == 0.0`) skip their multiply-add — a large win
+/// for post-ReLU activations, which are about half zeros. The skip is
+/// applied *identically in every path* (tile, leftover columns, leftover
+/// rows): it depends only on the row's own data, never on which path or
+/// shard the row lands in, so results stay bit-identical across worker
+/// counts. (With accumulators starting at `+0.0` and finite `b`, the
+/// skip is also bit-identical to performing the `±0.0` multiply-adds.)
+fn gemm_rows(
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    o: &mut [f32],
+) {
+    let (i0, i1) = (rows.start, rows.end);
+    let mut i = i0;
+    while i + MR <= i1 {
         let ar = [
             &a[i * k..(i + 1) * k],
             &a[(i + 1) * k..(i + 2) * k],
@@ -587,13 +559,16 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], o: &mut [f32
                     .expect("NR-wide tile");
                 for (accr, arr) in acc.iter_mut().zip(&ar) {
                     let x = arr[p];
+                    if x == 0.0 {
+                        continue;
+                    }
                     for (av, &bv) in accr.iter_mut().zip(brow) {
                         *av += x * bv;
                     }
                 }
             }
             for (r, accr) in acc.iter().enumerate() {
-                o[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(accr);
+                o[(i - i0 + r) * n + j..(i - i0 + r) * n + j + NR].copy_from_slice(accr);
             }
             j += NR;
         }
@@ -602,18 +577,24 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], o: &mut [f32
             for (r, arr) in ar.iter().enumerate() {
                 let mut acc = 0.0f32;
                 for (p, &x) in arr.iter().enumerate() {
+                    if x == 0.0 {
+                        continue;
+                    }
                     acc += x * b[p * n + j];
                 }
-                o[(i + r) * n + j] = acc;
+                o[(i - i0 + r) * n + j] = acc;
             }
             j += 1;
         }
         i += MR;
     }
-    // Leftover rows: vectorizable in-row accumulation, ascending `p`.
-    while i < m {
+    // Leftover rows: vectorizable in-row accumulation, ascending `p`,
+    // with the same per-row zero skip as the tiled path — which rows
+    // land here depends on the shard boundaries, so the arithmetic must
+    // match the tiled path decision-for-decision.
+    while i < i1 {
         let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut o[i * n..(i + 1) * n];
+        let orow = &mut o[(i - i0) * n..(i - i0 + 1) * n];
         orow.fill(0.0);
         for (p, &x) in arow.iter().enumerate() {
             if x == 0.0 {
@@ -625,6 +606,119 @@ fn gemm_blocked(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], o: &mut [f32
             }
         }
         i += 1;
+    }
+}
+
+/// `tmatmul` core over output rows `rows`: `o = a[k×m]ᵀ · b[k×n]` rows
+/// `rows`, with `o` holding exactly those rows. Mirrors [`gemm_rows`]'s
+/// 4×8 register tile; because the left operand is stored `(k × m)`, the
+/// four `x` values per `p` sit contiguously at `a[p·m + i..]` — one
+/// 4-wide load. Ascending-`p` accumulation per element.
+fn tmatmul_rows(
+    rows: std::ops::Range<usize>,
+    k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    o: &mut [f32],
+) {
+    let (i0, i1) = (rows.start, rows.end);
+    let mut i = i0;
+    while i + MR <= i1 {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let xs: &[f32; MR] = a[p * m + i..p * m + i + MR]
+                    .try_into()
+                    .expect("MR-wide load");
+                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR]
+                    .try_into()
+                    .expect("NR-wide tile");
+                for (accr, &x) in acc.iter_mut().zip(xs) {
+                    for (av, &bv) in accr.iter_mut().zip(brow) {
+                        *av += x * bv;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                o[(i - i0 + r) * n + j..(i - i0 + r) * n + j + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+        // Leftover columns: one serial dot per element, ascending `p`.
+        while j < n {
+            for r in 0..MR {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[p * m + i + r] * b[p * n + j];
+                }
+                o[(i - i0 + r) * n + j] = acc;
+            }
+            j += 1;
+        }
+        i += MR;
+    }
+    // Leftover rows: one serial dot per element, ascending `p`.
+    while i < i1 {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[p * m + i] * b[p * n + j];
+            }
+            o[(i - i0) * n + j] = acc;
+        }
+        i += 1;
+    }
+}
+
+/// `matmul_t` core over output rows `rows`: `o = a[m×k] · b[n×k]ᵀ` rows
+/// `rows`, with `o` holding exactly those rows. Blocked over output
+/// columns: [`MR`] rows of `b` are dotted against one streamed row of `a`
+/// per sweep; each dot keeps a single ascending-`k` accumulator.
+fn matmul_t_rows(
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    o: &mut [f32],
+) {
+    let i0 = rows.start;
+    for i in rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut o[(i - i0) * n..(i - i0 + 1) * n];
+        let mut j = 0;
+        while j + MR <= n {
+            let (b0, b1, b2, b3) = (
+                &b[j * k..(j + 1) * k],
+                &b[(j + 1) * k..(j + 2) * k],
+                &b[(j + 2) * k..(j + 3) * k],
+                &b[(j + 3) * k..(j + 4) * k],
+            );
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
+                s0 += av * v0;
+                s1 += av * v1;
+                s2 += av * v2;
+                s3 += av * v3;
+            }
+            orow[j] = s0;
+            orow[j + 1] = s1;
+            orow[j + 2] = s2;
+            orow[j + 3] = s3;
+            j += MR;
+        }
+        while j < n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            orow[j] = acc;
+            j += 1;
+        }
     }
 }
 

@@ -188,6 +188,57 @@ fn fused_bias_act_matches_the_unfused_sequence() {
     }
 }
 
+/// The kernels must be bit-identical for every pool size. Shapes here are
+/// drawn large enough (`m·k·n` up to ~190k multiply-adds) that many cases
+/// cross the internal parallel threshold and genuinely shard rows across
+/// workers, while the `m = 1` / `n = 1` / `k = 1` edges every 4th case
+/// keep exercising the inline path under an active pool. Each sweep
+/// compares against the naive ascending-`k` reference, and a dirty shared
+/// output buffer is threaded through like the reuse test above.
+#[test]
+fn kernels_are_bit_identical_across_worker_counts() {
+    for &workers in &[1usize, 2, 4, 8] {
+        let pool = osa_runtime::ThreadPool::new(workers);
+        osa_runtime::with_pool(&pool, || {
+            let mut rng = Rng::seed_from_u64(405);
+            let mut out = Tensor::from_vec(5, 7, vec![f32::NAN; 35]); // poisoned start
+            for case in 0..40 {
+                let (mut m, mut k, mut n) =
+                    (2 + rng.below(48), 2 + rng.below(64), 2 + rng.below(48));
+                match case % 4 {
+                    0 => m = 1,
+                    1 => n = 1,
+                    2 => k = 1,
+                    _ => {}
+                }
+                let what = format!("pool{workers}");
+                let a = random_tensor(m, k, &mut rng);
+                let b = random_tensor(k, n, &mut rng);
+                a.matmul_into(&b, &mut out);
+                assert_bits_eq(&out, &naive_matmul(&a, &b), &format!("{what} matmul"), case);
+
+                let bt = random_tensor(n, k, &mut rng);
+                a.matmul_t_into(&bt, &mut out);
+                assert_bits_eq(
+                    &out,
+                    &naive_matmul_t(&a, &bt),
+                    &format!("{what} matmul_t"),
+                    case,
+                );
+
+                let at = random_tensor(k, m, &mut rng);
+                at.tmatmul_into(&b, &mut out);
+                assert_bits_eq(
+                    &out,
+                    &naive_tmatmul(&at, &b),
+                    &format!("{what} tmatmul"),
+                    case,
+                );
+            }
+        });
+    }
+}
+
 /// A `Dense` with a fused ReLU must be indistinguishable from the same
 /// `Dense` followed by a standalone `ReLU` layer — the refactor that
 /// removed the separate layers from `ActorCritic::mlp` and the bench

@@ -101,19 +101,32 @@ impl Dataset {
     }
 
     /// Generate a corpus of `count` traces of `len` samples each from a
-    /// u64 seed.
+    /// u64 seed, parallelized over the current thread pool.
     ///
-    /// Each trace gets its own sub-seeded RNG (drawn from a master stream)
-    /// so the corpus is bit-reproducible and individual traces are
-    /// independent of their neighbours' lengths.
+    /// Each trace gets its own sub-seeded RNG (drawn from a master
+    /// stream), so the corpus is bit-reproducible, individual traces are
+    /// independent of their neighbours' lengths — and, since PR 5,
+    /// embarrassingly parallel: the sub-seeds are drawn serially up
+    /// front, then each worker lane synthesizes a disjoint contiguous run
+    /// of traces. The corpus is byte-identical for every worker count
+    /// (pinned by `tests/parallel_corpus.rs`).
     pub fn generate(self, count: usize, len: usize, seed: u64) -> Vec<Trace> {
         let mut master = Rng::seed_from_u64(seed);
-        (0..count)
-            .map(|i| {
-                let sub = master.next_u64();
-                let mut rng = Rng::seed_from_u64(sub);
-                self.generate_trace(format!("{}-{i:04}", self.name()), len, &mut rng)
-            })
+        let subs: Vec<u64> = (0..count).map(|_| master.next_u64()).collect();
+        let mut out: Vec<Option<Trace>> = Vec::with_capacity(count);
+        out.resize_with(count, || None);
+        osa_runtime::with_current(|pool| {
+            pool.parallel_for_slice(&mut out, 1, |_, first, slots| {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    let i = first + offset;
+                    let mut rng = Rng::seed_from_u64(subs[i]);
+                    *slot =
+                        Some(self.generate_trace(format!("{}-{i:04}", self.name()), len, &mut rng));
+                }
+            });
+        });
+        out.into_iter()
+            .map(|t| t.expect("every trace generated"))
             .collect()
     }
 }

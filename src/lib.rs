@@ -8,9 +8,10 @@
 //!
 //! | module | crate | status |
 //! |--------|-------|--------|
-//! | [`nn`] | `osa-nn` | implemented: tensors, Dense/Conv1d, manual backprop, Adam/RMSProp/SGD, JSON persistence, seeded PRNG |
-//! | [`mdp`] | `osa-mdp` | implemented: Env/Policy/ValueFunction traits, rollouts, GAE(γ, λ), A2C trainer with A3C-style parallel workers |
-//! | [`trace`] | `osa-trace` | implemented: six throughput datasets (Markov-modulated mobile-like + 4 i.i.d. samplers), deterministic splits, fault injection, JSON caching |
+//! | [`runtime`] | `osa-runtime` | implemented: deterministic persistent thread pool (`parallel_for` / `parallel_for_slice` / `parallel_reduce`), `OSA_THREADS` budget, per-lane scratch slots |
+//! | [`nn`] | `osa-nn` | implemented: tensors, Dense/Conv1d, manual backprop, Adam/RMSProp/SGD, JSON persistence, seeded PRNG; GEMMs row-sharded over the runtime pool |
+//! | [`mdp`] | `osa-mdp` | implemented: Env/Policy/ValueFunction traits, rollouts, GAE(γ, λ), A2C trainer with synchronous parallel streams (bit-identical at any pool width) |
+//! | [`trace`] | `osa-trace` | implemented: six throughput datasets (Markov-modulated mobile-like + 4 i.i.d. samplers), deterministic splits, fault injection, JSON caching; pooled corpus generation |
 //! | [`abr`] | `osa-abr` | scaffold |
 //! | [`pensieve`] | `osa-pensieve` | scaffold |
 //! | [`ocsvm`] | `osa-ocsvm` | scaffold |
@@ -25,6 +26,7 @@ pub use osa_mdp as mdp;
 pub use osa_nn as nn;
 pub use osa_ocsvm as ocsvm;
 pub use osa_pensieve as pensieve;
+pub use osa_runtime as runtime;
 pub use osa_trace as trace;
 
 #[cfg(test)]
@@ -73,6 +75,18 @@ mod tests {
         let text = crate::trace::io::traces_to_json(&split.train).unwrap();
         let back = crate::trace::io::traces_from_json(&text).unwrap();
         assert_eq!(back, split.train);
+    }
+
+    /// The facade must expose the deterministic runtime: a multi-lane
+    /// pool must reduce to exactly the same value as inline execution.
+    #[test]
+    fn facade_reaches_runtime() {
+        use crate::runtime::ThreadPool;
+        let map = |r: std::ops::Range<usize>| r.sum::<usize>();
+        let pooled = ThreadPool::new(3).parallel_reduce(100, 8, map, |a, b| a + b);
+        let inline = ThreadPool::new(1).parallel_reduce(100, 8, map, |a, b| a + b);
+        assert_eq!(pooled, Some(4950));
+        assert_eq!(pooled, inline);
     }
 
     /// Scaffolded crates are wired into the DAG even before they are
