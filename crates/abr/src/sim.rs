@@ -1,0 +1,571 @@
+//! The chunk-level download simulator: the pure per-chunk transition
+//! [`step_chunk`], the observation encoding [`encode_obs`], and the
+//! struct-of-arrays [`MultiSession`] batch engine.
+//!
+//! # Dynamics (per chunk, Pensieve's MahiMahi-equivalent model)
+//!
+//! A session at absolute time `t` with `buffer` seconds of video queued
+//! requests chunk `k` at bitrate level `a`:
+//!
+//! 1. the request spends one RTT (80 ms) in flight, then the payload
+//!    streams over the trace-driven link: `delay = rtt +
+//!    transfer_time(trace, t + rtt, size(k, a))` ([`osa_trace::link`]);
+//! 2. playback drains the buffer during the download; if it runs dry the
+//!    client rebuffers for `max(0, delay − buffer)` seconds;
+//! 3. the finished chunk adds 4 s of video; if the buffer would exceed
+//!    its cap (60 s) the client pauses requesting until it drains to the
+//!    cap (Pensieve's "sleep", exact rather than 500 ms-quantized);
+//! 4. the chunk earns the §3.1 linear QoE
+//!    `q(R) − μ·rebuffer − |q(R) − q(R_prev)|` with `q` = bitrate in
+//!    Mbit/s and μ = 4.3.
+//!
+//! # Determinism
+//!
+//! `step_chunk` is a pure `f64` function of its arguments — no RNG, no
+//! global state. [`MultiSession::step_all`] runs it over sessions in two
+//! phases: a parallel compute phase where each pool lane fills a
+//! disjoint slice of per-session outcomes (sessions are independent, so
+//! lane assignment cannot change any arithmetic), then a serial apply
+//! phase that folds the outcomes into the state arrays in session order.
+//! Results are therefore bit-identical for any worker count, which
+//! `tests/properties.rs` pins for pools of 1, 2, 4 and 8.
+
+use osa_nn::tensor::Tensor;
+use osa_trace::link;
+use osa_trace::Trace;
+
+use crate::video::VideoModel;
+use crate::{HISTORY_LEN, NUM_BITRATES, OBS_DIM};
+
+/// Environment parameters of the streaming session.
+#[derive(Clone, Debug)]
+pub struct AbrConfig {
+    /// Request round-trip time in seconds.
+    pub rtt_s: f64,
+    /// Client playback buffer capacity in seconds of video.
+    pub buffer_cap_s: f64,
+    /// QoE rebuffering penalty μ per stalled second (§3.1: 4.3, the
+    /// highest bitrate in Mbit/s).
+    pub rebuf_penalty: f64,
+    /// QoE smoothness penalty per Mbit/s of bitrate switch.
+    pub smooth_penalty: f64,
+}
+
+impl Default for AbrConfig {
+    fn default() -> Self {
+        AbrConfig {
+            rtt_s: crate::RTT_MS as f64 / 1000.0,
+            buffer_cap_s: 60.0,
+            rebuf_penalty: 4.3,
+            smooth_penalty: 1.0,
+        }
+    }
+}
+
+/// Everything one chunk download did to a session, computed by
+/// [`step_chunk`] before any state is mutated.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChunkOutcome {
+    /// Wall-clock seconds from request to last byte (RTT + transfer).
+    pub delay_s: f64,
+    /// Seconds playback stalled waiting for this chunk.
+    pub rebuffer_s: f64,
+    /// Seconds the client paused requesting because the buffer was full.
+    pub sleep_s: f64,
+    /// Measured throughput over the download, Mbit/s (size·8 / delay).
+    pub tput_mbps: f64,
+    /// Bytes transferred.
+    pub size_bytes: f64,
+    /// Linear QoE earned by this chunk.
+    pub reward: f64,
+    /// Session clock after download + any sleep.
+    pub new_time_s: f64,
+    /// Buffer level after drain, fill, and cap.
+    pub new_buffer_s: f64,
+    /// True iff this was the last chunk of the video.
+    pub finished: bool,
+}
+
+/// Advance one session by one chunk download — the single transition
+/// function shared by [`MultiSession`] and [`crate::env::AbrEnv`], which
+/// is what makes the two bit-equal by construction.
+///
+/// Panics (via the assertion on `delay`) if `trace` has zero capacity
+/// everywhere; [`MultiSession::new`] and `AbrEnv::new` reject such
+/// traces up front.
+#[allow(clippy::too_many_arguments)] // the full per-session state, flattened on purpose
+pub fn step_chunk(
+    video: &VideoModel,
+    cfg: &AbrConfig,
+    trace: &Trace,
+    time_s: f64,
+    buffer_s: f64,
+    chunk: usize,
+    prev_level: usize,
+    level: usize,
+) -> ChunkOutcome {
+    assert!(level < NUM_BITRATES, "bitrate level {level} out of range");
+    let size = video.size_bytes(chunk, level);
+    // The link idles during the request RTT; bytes flow from t + rtt.
+    let delay = cfg.rtt_s + link::transfer_time(trace, time_s + cfg.rtt_s, size);
+    assert!(
+        delay.is_finite(),
+        "chunk download never completes (dead trace)"
+    );
+    let rebuffer = (delay - buffer_s).max(0.0);
+    let mut buffer = (buffer_s - delay).max(0.0) + video.chunk_s();
+    let mut sleep = 0.0;
+    if buffer > cfg.buffer_cap_s {
+        sleep = buffer - cfg.buffer_cap_s;
+        buffer = cfg.buffer_cap_s;
+    }
+    let q = video.bitrate_mbps(level);
+    let q_prev = video.bitrate_mbps(prev_level);
+    ChunkOutcome {
+        delay_s: delay,
+        rebuffer_s: rebuffer,
+        sleep_s: sleep,
+        tput_mbps: size * 8.0 / 1e6 / delay,
+        size_bytes: size,
+        reward: q - cfg.rebuf_penalty * rebuffer - cfg.smooth_penalty * (q - q_prev).abs(),
+        new_time_s: time_s + delay + sleep,
+        new_buffer_s: buffer,
+        finished: chunk + 1 == video.chunk_count(),
+    }
+}
+
+/// Write the Pensieve state vector for one session into `out`
+/// (`out.len() == OBS_DIM`). Layout, with normalizations chosen to keep
+/// every feature roughly in [0, 1]:
+///
+/// | cols                | feature                                   |
+/// |---------------------|-------------------------------------------|
+/// | `0 .. H`            | past chunk throughputs, Mbit/s ÷ 10       |
+/// | `H .. 2H`           | past chunk download times, s ÷ 10         |
+/// | `2H .. 2H+6`        | next-chunk size per level, MB (0 at end)  |
+/// | `2H+6`              | buffer level, s ÷ 10                      |
+/// | `2H+7`              | chunks remaining ÷ chunk count            |
+/// | `2H+8`              | last bitrate level ÷ (levels − 1)         |
+pub fn encode_obs(
+    out: &mut [f32],
+    video: &VideoModel,
+    tput_hist: &[f32],
+    delay_hist: &[f32],
+    buffer_s: f64,
+    next_chunk: usize,
+    prev_level: usize,
+) {
+    assert_eq!(out.len(), OBS_DIM);
+    assert_eq!(tput_hist.len(), HISTORY_LEN);
+    assert_eq!(delay_hist.len(), HISTORY_LEN);
+    for (o, &t) in out[..HISTORY_LEN].iter_mut().zip(tput_hist) {
+        *o = t / 10.0;
+    }
+    for (o, &d) in out[HISTORY_LEN..2 * HISTORY_LEN].iter_mut().zip(delay_hist) {
+        *o = d / 10.0;
+    }
+    let sizes = &mut out[2 * HISTORY_LEN..2 * HISTORY_LEN + NUM_BITRATES];
+    if next_chunk < video.chunk_count() {
+        for (level, o) in sizes.iter_mut().enumerate() {
+            *o = (video.size_bytes(next_chunk, level) / 1e6) as f32;
+        }
+    } else {
+        sizes.fill(0.0);
+    }
+    let remaining = video.chunk_count().saturating_sub(next_chunk);
+    out[2 * HISTORY_LEN + NUM_BITRATES] = (buffer_s / 10.0) as f32;
+    out[2 * HISTORY_LEN + NUM_BITRATES + 1] = remaining as f32 / video.chunk_count() as f32;
+    out[2 * HISTORY_LEN + NUM_BITRATES + 2] = prev_level as f32 / (NUM_BITRATES - 1) as f32;
+}
+
+/// Struct-of-arrays batch of concurrent streaming sessions.
+///
+/// Session `i` starts on trace `i mod traces.len()` at its beginning.
+/// With `auto_reset` the session rolls onto the next trace
+/// (round-robin) when the video ends, so a fixed-size batch can stream
+/// forever — the training/bench configuration. Without it, finished
+/// sessions go inactive (reward 0, state frozen) — the evaluation
+/// configuration, one pass per trace.
+pub struct MultiSession {
+    video: VideoModel,
+    cfg: AbrConfig,
+    traces: Vec<Trace>,
+    auto_reset: bool,
+    // Per-session state, indexed 0..n.
+    trace_of: Vec<u32>,
+    time_s: Vec<f64>,
+    buffer_s: Vec<f64>,
+    next_chunk: Vec<u32>,
+    prev_level: Vec<u8>,
+    active: Vec<bool>,
+    /// `n × HISTORY_LEN`, most recent sample last.
+    tput_hist: Vec<f32>,
+    delay_hist: Vec<f32>,
+    // Lifetime accounting (across auto-resets).
+    qoe_total: Vec<f64>,
+    rebuffer_total: Vec<f64>,
+    bitrate_total_mbps: Vec<f64>,
+    chunks_total: Vec<u64>,
+    sessions_completed: Vec<u64>,
+    // Scratch for the parallel compute phase and the returned rewards.
+    outcomes: Vec<ChunkOutcome>,
+    rewards: Vec<f32>,
+}
+
+impl MultiSession {
+    /// Build `n` sessions over `traces`. Panics on an empty trace set,
+    /// a malformed trace, or a trace with zero capacity everywhere (a
+    /// download on it would never finish).
+    pub fn new(
+        video: VideoModel,
+        cfg: AbrConfig,
+        traces: Vec<Trace>,
+        n: usize,
+        auto_reset: bool,
+    ) -> Self {
+        assert!(!traces.is_empty(), "MultiSession needs at least one trace");
+        assert!(n > 0, "MultiSession needs at least one session");
+        for t in &traces {
+            assert!(t.is_wellformed(), "malformed trace {}", t.id);
+            assert!(
+                link::bytes_per_period(t) > 0.0,
+                "trace {} has zero capacity everywhere",
+                t.id
+            );
+        }
+        let trace_of: Vec<u32> = (0..n).map(|i| (i % traces.len()) as u32).collect();
+        MultiSession {
+            video,
+            cfg,
+            traces,
+            auto_reset,
+            trace_of,
+            time_s: vec![0.0; n],
+            buffer_s: vec![0.0; n],
+            next_chunk: vec![0; n],
+            prev_level: vec![0; n],
+            active: vec![true; n],
+            tput_hist: vec![0.0; n * HISTORY_LEN],
+            delay_hist: vec![0.0; n * HISTORY_LEN],
+            qoe_total: vec![0.0; n],
+            rebuffer_total: vec![0.0; n],
+            bitrate_total_mbps: vec![0.0; n],
+            chunks_total: vec![0; n],
+            sessions_completed: vec![0; n],
+            outcomes: vec![ChunkOutcome::default(); n],
+            rewards: vec![0.0; n],
+        }
+    }
+
+    /// Number of sessions in the batch.
+    pub fn len(&self) -> usize {
+        self.time_s.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Advance every active session by one chunk download on the current
+    /// `osa_runtime` pool; `actions[i]` is session `i`'s bitrate level
+    /// (ignored for inactive sessions). Returns per-session rewards
+    /// (0 for inactive sessions). Bit-identical for any worker count.
+    pub fn step_all(&mut self, actions: &[usize]) -> &[f32] {
+        osa_runtime::with_current(|pool| self.step_all_with_pool(actions, pool))
+    }
+
+    /// [`MultiSession::step_all`] on an explicit pool.
+    pub fn step_all_with_pool(
+        &mut self,
+        actions: &[usize],
+        pool: &osa_runtime::ThreadPool,
+    ) -> &[f32] {
+        let n = self.len();
+        assert_eq!(actions.len(), n, "one action per session");
+
+        // Phase 1 — parallel, pure: lanes fill disjoint outcome slices
+        // from immutable session state. Destructure so the mutable
+        // borrow of `outcomes` can coexist with the shared borrows.
+        {
+            let MultiSession {
+                video,
+                cfg,
+                traces,
+                trace_of,
+                time_s,
+                buffer_s,
+                next_chunk,
+                prev_level,
+                active,
+                outcomes,
+                ..
+            } = self;
+            pool.parallel_for_slice(outcomes, 1, |_, first, slots| {
+                for (off, slot) in slots.iter_mut().enumerate() {
+                    let i = first + off;
+                    *slot = if active[i] {
+                        step_chunk(
+                            video,
+                            cfg,
+                            &traces[trace_of[i] as usize],
+                            time_s[i],
+                            buffer_s[i],
+                            next_chunk[i] as usize,
+                            prev_level[i] as usize,
+                            actions[i],
+                        )
+                    } else {
+                        ChunkOutcome::default()
+                    };
+                }
+            });
+        }
+
+        // Phase 2 — serial, in session order: fold outcomes into state.
+        let num_traces = self.traces.len() as u32;
+        #[allow(clippy::needless_range_loop)] // i indexes a dozen parallel arrays
+        for i in 0..n {
+            if !self.active[i] {
+                self.rewards[i] = 0.0;
+                continue;
+            }
+            let o = self.outcomes[i];
+            self.rewards[i] = o.reward as f32;
+            self.time_s[i] = o.new_time_s;
+            self.buffer_s[i] = o.new_buffer_s;
+            self.prev_level[i] = actions[i] as u8;
+            self.next_chunk[i] += 1;
+            self.qoe_total[i] += o.reward;
+            self.rebuffer_total[i] += o.rebuffer_s;
+            self.bitrate_total_mbps[i] += self.video.bitrate_mbps(actions[i]);
+            self.chunks_total[i] += 1;
+            let h = &mut self.tput_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN];
+            h.copy_within(1.., 0);
+            h[HISTORY_LEN - 1] = o.tput_mbps as f32;
+            let h = &mut self.delay_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN];
+            h.copy_within(1.., 0);
+            h[HISTORY_LEN - 1] = o.delay_s as f32;
+            if o.finished {
+                self.sessions_completed[i] += 1;
+                if self.auto_reset {
+                    // Deterministic round-robin onto the next trace; no
+                    // RNG, so worker count can't perturb anything.
+                    self.trace_of[i] = (self.trace_of[i] + 1) % num_traces;
+                    self.time_s[i] = 0.0;
+                    self.buffer_s[i] = 0.0;
+                    self.next_chunk[i] = 0;
+                    self.prev_level[i] = 0;
+                    self.tput_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN].fill(0.0);
+                    self.delay_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN].fill(0.0);
+                } else {
+                    self.active[i] = false;
+                }
+            }
+        }
+        &self.rewards
+    }
+
+    /// Write the `(n × OBS_DIM)` observation matrix into `out`, reusing
+    /// its capacity (allocation-free once warmed up).
+    pub fn fill_observations(&self, out: &mut Tensor) {
+        out.resize_shape(self.len(), OBS_DIM);
+        for i in 0..self.len() {
+            encode_obs(
+                out.row_mut(i),
+                &self.video,
+                &self.tput_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN],
+                &self.delay_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN],
+                self.buffer_s[i],
+                self.next_chunk[i] as usize,
+                self.prev_level[i] as usize,
+            );
+        }
+    }
+
+    // -- accessors -------------------------------------------------------
+
+    pub fn video(&self) -> &VideoModel {
+        &self.video
+    }
+
+    pub fn cfg(&self) -> &AbrConfig {
+        &self.cfg
+    }
+
+    pub fn num_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Per-session rewards of the last `step_all`.
+    pub fn rewards(&self) -> &[f32] {
+        &self.rewards
+    }
+
+    /// Per-session outcomes of the last `step_all` (zeroed for sessions
+    /// that were inactive).
+    pub fn outcomes(&self) -> &[ChunkOutcome] {
+        &self.outcomes
+    }
+
+    pub fn active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// True when every session has finished (never true with
+    /// `auto_reset`).
+    pub fn all_done(&self) -> bool {
+        self.active.iter().all(|&a| !a)
+    }
+
+    pub fn time_s(&self, i: usize) -> f64 {
+        self.time_s[i]
+    }
+
+    pub fn buffer_s(&self, i: usize) -> f64 {
+        self.buffer_s[i]
+    }
+
+    pub fn next_chunk(&self, i: usize) -> usize {
+        self.next_chunk[i] as usize
+    }
+
+    pub fn prev_level(&self, i: usize) -> usize {
+        self.prev_level[i] as usize
+    }
+
+    /// Lifetime QoE sum of session slot `i` (across auto-resets).
+    pub fn qoe_total(&self, i: usize) -> f64 {
+        self.qoe_total[i]
+    }
+
+    /// Lifetime rebuffering seconds of session slot `i`.
+    pub fn rebuffer_total(&self, i: usize) -> f64 {
+        self.rebuffer_total[i]
+    }
+
+    /// Lifetime sum of selected bitrates (Mbit/s) of session slot `i`.
+    pub fn bitrate_total_mbps(&self, i: usize) -> f64 {
+        self.bitrate_total_mbps[i]
+    }
+
+    /// Lifetime chunks downloaded by session slot `i`.
+    pub fn chunks_total(&self, i: usize) -> u64 {
+        self.chunks_total[i]
+    }
+
+    /// Videos finished by session slot `i`.
+    pub fn sessions_completed(&self, i: usize) -> u64 {
+        self.sessions_completed[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_trace(mbps: f32) -> Trace {
+        Trace::new("flat", 1.0, vec![mbps; 10])
+    }
+
+    #[test]
+    fn step_chunk_known_values_on_flat_link() {
+        // 8 Mbit/s = 10⁶ B/s; lowest level chunk = 150 000 B → 0.15 s
+        // transfer + 0.08 s RTT = 0.23 s delay. All values exact.
+        let video = VideoModel::constant_bitrate();
+        let cfg = AbrConfig::default();
+        let o = step_chunk(&video, &cfg, &flat_trace(8.0), 0.0, 0.0, 0, 0, 0);
+        let tol = 1e-12;
+        assert!((o.delay_s - 0.23).abs() < tol);
+        // Empty buffer stalls for the whole delay.
+        assert_eq!(o.rebuffer_s, o.delay_s);
+        assert_eq!(o.new_buffer_s, 4.0);
+        assert_eq!(o.sleep_s, 0.0);
+        assert_eq!(o.reward, 0.3 - 4.3 * o.rebuffer_s);
+        assert_eq!(o.new_time_s, o.delay_s);
+        assert!(!o.finished);
+    }
+
+    #[test]
+    fn buffer_cap_forces_sleep() {
+        let video = VideoModel::constant_bitrate();
+        let cfg = AbrConfig::default();
+        // Buffer nearly full: 59 s. Download takes 0.23 s → drain to
+        // 58.77, fill to 62.77, sleep 2.77 back to the 60 s cap.
+        let o = step_chunk(&video, &cfg, &flat_trace(8.0), 100.0, 59.0, 3, 0, 0);
+        assert_eq!(o.rebuffer_s, 0.0);
+        assert_eq!(o.new_buffer_s, 60.0);
+        assert!((o.sleep_s - 2.77).abs() < 1e-12);
+        assert!((o.new_time_s - 103.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothness_penalty_charges_switches_both_ways() {
+        let video = VideoModel::constant_bitrate();
+        let cfg = AbrConfig {
+            rebuf_penalty: 0.0, // isolate the smoothness term
+            ..AbrConfig::default()
+        };
+        let up = step_chunk(&video, &cfg, &flat_trace(50.0), 0.0, 10.0, 1, 0, 5);
+        assert_eq!(up.reward, 4.3 - (4.3 - 0.3));
+        let down = step_chunk(&video, &cfg, &flat_trace(50.0), 0.0, 10.0, 1, 5, 0);
+        assert_eq!(down.reward, 0.3 - (4.3 - 0.3));
+    }
+
+    #[test]
+    fn observation_layout_and_normalization() {
+        let video = VideoModel::constant_bitrate();
+        let tput = [2.0f32; HISTORY_LEN];
+        let delay = [1.0f32; HISTORY_LEN];
+        let mut obs = [0.0f32; OBS_DIM];
+        encode_obs(&mut obs, &video, &tput, &delay, 30.0, 10, 3);
+        assert_eq!(obs[0], 0.2);
+        assert_eq!(obs[HISTORY_LEN], 0.1);
+        assert_eq!(obs[2 * HISTORY_LEN], 0.15); // 150 kB in MB
+        assert_eq!(obs[2 * HISTORY_LEN + NUM_BITRATES], 3.0);
+        assert_eq!(obs[2 * HISTORY_LEN + NUM_BITRATES + 1], 38.0 / 48.0);
+        assert_eq!(obs[2 * HISTORY_LEN + NUM_BITRATES + 2], 0.6);
+        // Past the last chunk the size columns go dark.
+        encode_obs(&mut obs, &video, &tput, &delay, 30.0, 48, 3);
+        assert_eq!(
+            &obs[2 * HISTORY_LEN..2 * HISTORY_LEN + NUM_BITRATES],
+            &[0.0; 6]
+        );
+    }
+
+    #[test]
+    fn sessions_finish_and_deactivate_without_auto_reset() {
+        let video = VideoModel::constant_bitrate();
+        let sim_traces = vec![flat_trace(8.0)];
+        let mut sim = MultiSession::new(video, AbrConfig::default(), sim_traces, 2, false);
+        let actions = vec![0usize; 2];
+        for k in 0..CHUNK_COUNT_LOCAL {
+            assert!(!sim.all_done(), "done too early at chunk {k}");
+            sim.step_all(&actions);
+        }
+        assert!(sim.all_done());
+        assert_eq!(sim.chunks_total(0), CHUNK_COUNT_LOCAL as u64);
+        assert_eq!(sim.sessions_completed(1), 1);
+        // Further steps are no-ops with zero reward.
+        let r = sim.step_all(&actions).to_vec();
+        assert_eq!(r, vec![0.0, 0.0]);
+        assert_eq!(sim.chunks_total(0), CHUNK_COUNT_LOCAL as u64);
+    }
+
+    #[test]
+    fn auto_reset_rolls_onto_next_trace() {
+        let video = VideoModel::constant_bitrate();
+        let traces = vec![flat_trace(8.0), flat_trace(4.0)];
+        let mut sim = MultiSession::new(video, AbrConfig::default(), traces, 1, true);
+        let actions = vec![0usize];
+        for _ in 0..CHUNK_COUNT_LOCAL {
+            sim.step_all(&actions);
+        }
+        assert!(!sim.all_done());
+        assert_eq!(sim.sessions_completed(0), 1);
+        assert_eq!(sim.next_chunk(0), 0);
+        assert_eq!(sim.time_s(0), 0.0);
+        assert_eq!(sim.buffer_s(0), 0.0);
+    }
+
+    const CHUNK_COUNT_LOCAL: usize = crate::video::CHUNK_COUNT;
+}

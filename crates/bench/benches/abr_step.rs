@@ -1,0 +1,128 @@
+//! Microbenchmark: multi-session ABR engine throughput in chunk
+//! decisions per second — the full decide → download → account loop
+//! (`fill_observations` + policy + `step_all`), which is what a
+//! training or evaluation epoch actually spends its time in.
+//!
+//! Two policies bound the cost spectrum: `bb_step` is the rule-based
+//! Buffer-Based baseline (engine cost only, the policy is a couple of
+//! compares per session), and `pensieve_step` adds one batched actor
+//! forward pass per step through the default reduced-scale Pensieve
+//! network. Both run `OSA_BENCH_SESSIONS` concurrent sessions
+//! (default 256) with auto-reset, so the workload is steady-state and
+//! allocation-free — `crates/bench/tests/zero_alloc_abr.rs` pins the
+//! zero exactly; here `allocs_per_iter` records it per configuration.
+//!
+//! `step_all` fans the download computation over the ambient
+//! `osa_runtime` pool, so the `OSA_THREADS` budget is part of the
+//! thread context (`hardware_threads` in the report) and
+//! `bench_compare` refuses cross-budget diffs, same as every other
+//! bench.
+//!
+//! ```sh
+//! cargo bench -p osa-bench --bench abr_step
+//! ```
+//!
+//! rewrites `BENCH_abr.json` at the repo root. `OSA_BENCH_SESSIONS`
+//! scales the batch; the per-iteration step count is fixed.
+
+use osa_abr::prelude::*;
+use osa_bench::{counting_alloc::CountingAlloc, hardware_threads, run_bench};
+use osa_nn::json::{obj, Value};
+use osa_nn::rng::Rng;
+use osa_nn::tensor::Tensor;
+use osa_pensieve::{PensieveAgent, PensieveConfig};
+use osa_trace::Dataset;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Engine steps timed per iteration (each step = one decision per
+/// session).
+const STEPS_PER_ITER: usize = 8;
+/// Timed iterations per configuration (`run_bench` adds warmup).
+const SAMPLES: usize = 20;
+const TRACE_COUNT: usize = 16;
+const TRACE_LEN: usize = 240;
+const SEED: u64 = 42;
+
+struct Workload {
+    sim: MultiSession,
+    obs: Tensor,
+    actions: Vec<usize>,
+    rng: Rng,
+}
+
+impl Workload {
+    fn new(sessions: usize) -> Self {
+        let traces = Dataset::Norway.generate(TRACE_COUNT, TRACE_LEN, SEED);
+        Workload {
+            sim: MultiSession::new(
+                VideoModel::envivio(),
+                AbrConfig::default(),
+                traces,
+                sessions,
+                true,
+            ),
+            obs: Tensor::zeros(sessions, OBS_DIM),
+            actions: vec![0; sessions],
+            rng: Rng::seed_from_u64(SEED),
+        }
+    }
+
+    fn run(&mut self, policy: &mut dyn AbrPolicy, steps: usize) {
+        for _ in 0..steps {
+            self.sim.fill_observations(&mut self.obs);
+            policy.decide_all(&self.sim, &self.obs, &mut self.actions, &mut self.rng);
+            std::hint::black_box(self.sim.step_all(&self.actions));
+        }
+    }
+}
+
+fn main() {
+    let sessions: usize = std::env::var("OSA_BENCH_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    println!(
+        "{sessions} sessions × {STEPS_PER_ITER} steps per iteration, \
+         {} hardware thread(s)",
+        hardware_threads()
+    );
+
+    let mut pensieve = PensieveAgent::new(PensieveConfig::default(), &mut Rng::seed_from_u64(7));
+    let mut bb = BufferBased::default();
+    let decisions = (sessions * STEPS_PER_ITER) as f64;
+
+    let mut results = Vec::new();
+    let policies: [(&str, &mut dyn AbrPolicy); 2] =
+        [("bb_step", &mut bb), ("pensieve_step", &mut pensieve)];
+    for (name, policy) in policies {
+        let mut workload = Workload::new(sessions);
+        let stats = run_bench(name, SAMPLES, || {
+            workload.run(policy, STEPS_PER_ITER);
+        });
+        let decisions_per_sec = decisions / (stats.median_ns as f64 * 1e-9);
+        println!("{name}: {decisions_per_sec:>12.0} decisions/sec");
+        let mut entry = stats.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert(
+                "decisions_per_sec".into(),
+                Value::Num(decisions_per_sec.round()),
+            );
+            map.insert("sessions".into(), Value::Num(sessions as f64));
+            map.insert("steps_per_iter".into(), Value::Num(STEPS_PER_ITER as f64));
+        }
+        results.push(entry);
+    }
+
+    let report = obj(vec![
+        ("bench", Value::Str("abr_step".into())),
+        ("video", Value::Str("envivio-synthetic".into())),
+        ("dataset", Value::Str("norway".into())),
+        ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        ("results", Value::Arr(results)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_abr.json");
+    osa_bench::write_report(path, report).expect("write BENCH_abr.json");
+    println!("baseline written to BENCH_abr.json");
+}

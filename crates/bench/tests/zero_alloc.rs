@@ -19,7 +19,7 @@
 //! collect → GAE → forward → backward → optimize, this assertion catches
 //! it exactly.
 
-use osa_bench::counting_alloc::{allocations, CountingAlloc};
+use osa_bench::counting_alloc::{min_window_allocations, CountingAlloc};
 use osa_mdp::envs::chain::ChainEnv;
 use osa_mdp::prelude::*;
 use osa_nn::loss;
@@ -32,7 +32,11 @@ use osa_nn::workspace::Workspace;
 static ALLOC: CountingAlloc = CountingAlloc;
 
 const WARMUP: usize = 10;
-const MEASURED: usize = 25;
+// 5 windows × 5 updates: the minimum window isolates the loop's own
+// allocations from concurrent libtest-harness noise (see
+// `min_window_allocations`); a real per-update allocation taints all 5.
+const WINDOWS: usize = 5;
+const UPDATES_PER_WINDOW: usize = 5;
 
 #[test]
 fn steady_state_a2c_update_is_allocation_free() {
@@ -138,18 +142,12 @@ fn steady_state_a2c_update_is_allocation_free() {
         iterate(&mut rng);
     }
 
-    let before = allocations();
-    for _ in 0..MEASURED {
-        iterate(&mut rng);
-    }
-    let after = allocations();
-
+    let min = min_window_allocations(WINDOWS, UPDATES_PER_WINDOW, || iterate(&mut rng));
     assert_eq!(
-        after - before,
-        0,
+        min, 0,
         "steady-state A2C training step touched the heap \
-         ({} allocations over {MEASURED} updates)",
-        after - before
+         ({min} allocations in the cleanest of {WINDOWS} windows of \
+         {UPDATES_PER_WINDOW} updates)"
     );
     // Sanity: the loop above genuinely trained.
     assert!(

@@ -1,0 +1,74 @@
+//! Proof that the steady-state ABR rollout loop is allocation-free:
+//! `fill_observations` → batched Pensieve inference → `step_all`, with
+//! auto-reset keeping every session live, must not touch the heap after
+//! warm-up.
+//!
+//! Everything in the loop reuses preallocated storage: the observation
+//! matrix resizes in place, the engine's outcome scratch and state
+//! arrays are sized at construction, the agent's softmax scratch and
+//! workspace tensors are pooled, and auto-reset just zeroes state.
+//! `step_all` fans out over the ambient `osa_runtime` pool, whose
+//! dispatch layer is itself allocation-free (`zero_alloc_pool.rs`) — so
+//! this test holds at any `OSA_THREADS` budget, and CI runs it at 1 and
+//! 4.
+//!
+//! Lives in its own integration-test binary because `CountingAlloc` is
+//! process-global state.
+
+use osa_abr::prelude::*;
+use osa_bench::counting_alloc::{min_window_allocations, CountingAlloc};
+use osa_nn::rng::Rng;
+use osa_nn::tensor::Tensor;
+use osa_pensieve::{PensieveAgent, PensieveConfig};
+use osa_trace::Dataset;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const SESSIONS: usize = 64;
+const WARMUP_ROUNDS: usize = 10;
+// Min-over-windows isolates the rollout loop's own allocations from
+// concurrent libtest-harness noise (see `min_window_allocations`).
+const WINDOWS: usize = 5;
+const ROUNDS_PER_WINDOW: usize = 5;
+const MEASURED_ROUNDS: usize = WINDOWS * ROUNDS_PER_WINDOW;
+
+#[test]
+fn steady_state_abr_rollout_is_allocation_free() {
+    let traces = Dataset::Norway.generate(8, 240, 3);
+    let mut sim = MultiSession::new(
+        VideoModel::envivio(),
+        AbrConfig::default(),
+        traces,
+        SESSIONS,
+        true,
+    );
+    let mut agent = PensieveAgent::new(PensieveConfig::default(), &mut Rng::seed_from_u64(1));
+    let mut obs = Tensor::zeros(SESSIONS, OBS_DIM);
+    let mut actions = vec![0usize; SESSIONS];
+    let mut rng = Rng::seed_from_u64(2);
+
+    let mut round = |sim: &mut MultiSession, agent: &mut PensieveAgent| {
+        sim.fill_observations(&mut obs);
+        agent.decide_all(sim, &obs, &mut actions, &mut rng);
+        std::hint::black_box(sim.step_all(&actions));
+    };
+
+    for _ in 0..WARMUP_ROUNDS {
+        round(&mut sim, &mut agent);
+    }
+
+    let min = min_window_allocations(WINDOWS, ROUNDS_PER_WINDOW, || {
+        round(&mut sim, &mut agent);
+    });
+    assert_eq!(
+        min, 0,
+        "steady-state ABR rollout touched the heap ({min} allocations in \
+         the cleanest of {WINDOWS} windows of {ROUNDS_PER_WINDOW} rounds \
+         of {SESSIONS} sessions)"
+    );
+
+    // Sanity: the rounds above genuinely streamed chunks.
+    let total: u64 = (0..SESSIONS).map(|i| sim.chunks_total(i)).sum();
+    assert_eq!(total, ((WARMUP_ROUNDS + MEASURED_ROUNDS) * SESSIONS) as u64);
+}

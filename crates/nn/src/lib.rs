@@ -16,6 +16,8 @@
 //! - [`tensor`] — a row-major `Vec<f32>` matrix type for 1-D/2-D data;
 //! - [`layer`] — the [`Layer`] trait plus `Dense`, `ReLU`, `Softmax`;
 //! - [`conv`] — `Conv1d` over fixed-geometry flattened inputs;
+//! - [`branches`] — parallel per-feature heads (split-apply-concat) for
+//!   Pensieve-style branched actor/critic networks;
 //! - [`loss`] — MSE, softmax cross-entropy (on logits), entropy bonus;
 //! - [`optim`] — `Sgd`, `RmsProp`, `Adam` behind the [`Optimizer`] trait;
 //! - [`init`] — Xavier/He initialization from an explicit seeded RNG;
@@ -54,6 +56,7 @@
 //! ```
 #![forbid(unsafe_code)]
 
+pub mod branches;
 pub mod conv;
 pub mod init;
 pub mod json;
@@ -66,6 +69,7 @@ pub mod serialize;
 pub mod tensor;
 pub mod workspace;
 
+pub use branches::{Branch, Branches};
 pub use conv::Conv1d;
 pub use init::Init;
 pub use layer::{Dense, Layer, ParamGrad, ReLU, Softmax};
@@ -78,6 +82,7 @@ pub use workspace::Workspace;
 
 /// One-stop import for downstream crates, examples, and tests.
 pub mod prelude {
+    pub use crate::branches::{Branch, Branches};
     pub use crate::conv::Conv1d;
     pub use crate::init::Init;
     pub use crate::layer::{Dense, Layer, ParamGrad, ReLU, Softmax};

@@ -269,6 +269,9 @@ impl Sequential {
                 ),
                 LayerSpec::ReLU => net.push(ReLU::new()),
                 LayerSpec::Softmax => net.push(Softmax::new()),
+                LayerSpec::Branches { parts } => {
+                    net.push(crate::branches::Branches::from_specs(parts))
+                }
             }
         }
         net

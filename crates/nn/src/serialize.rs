@@ -35,6 +35,12 @@ pub enum LayerSpec {
     },
     ReLU,
     Softmax,
+    /// Parallel per-feature heads over disjoint input column ranges
+    /// (see [`crate::branches::Branches`]). Parts must be `Dense` or
+    /// `Conv1d`; the loader rejects anything else.
+    Branches {
+        parts: Vec<LayerSpec>,
+    },
 }
 
 /// Activation tag for fused layers. `Identity` is omitted from the JSON so
@@ -184,6 +190,13 @@ fn layer_to_json(spec: &LayerSpec) -> Value {
         }
         LayerSpec::ReLU => obj(vec![("type", Value::Str("relu".into()))]),
         LayerSpec::Softmax => obj(vec![("type", Value::Str("softmax".into()))]),
+        LayerSpec::Branches { parts } => obj(vec![
+            ("type", Value::Str("branches".into())),
+            (
+                "parts",
+                Value::Arr(parts.iter().map(layer_to_json).collect()),
+            ),
+        ]),
     }
 }
 
@@ -242,6 +255,25 @@ fn layer_from_json(v: &Value) -> Result<LayerSpec, LoadError> {
         }
         "relu" => Ok(LayerSpec::ReLU),
         "softmax" => Ok(LayerSpec::Softmax),
+        "branches" => {
+            let parts = field("parts")?
+                .as_arr()
+                .ok_or_else(|| schema("branches 'parts' must be an array"))?;
+            if parts.is_empty() {
+                return Err(schema("branches needs at least one part"));
+            }
+            let parts = parts
+                .iter()
+                .map(layer_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            if !parts
+                .iter()
+                .all(|p| matches!(p, LayerSpec::Dense { .. } | LayerSpec::Conv1d { .. }))
+            {
+                return Err(schema("branches parts must be dense or conv1d layers"));
+            }
+            Ok(LayerSpec::Branches { parts })
+        }
         other => Err(schema(format!("unknown layer type '{other}'"))),
     }
 }

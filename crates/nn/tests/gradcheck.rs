@@ -351,3 +351,20 @@ fn entropy_gradient_matches_numeric() {
         );
     }
 }
+
+#[test]
+fn branches_gradients_match_numeric() {
+    // Identity-activation parts: the ReLU-fused paths are covered by the
+    // dense/conv cases above, while this pins the split/concat routing
+    // (column gather on forward, scatter on backward) itself.
+    let mut rng = Rng::seed_from_u64(14);
+    let conv = Conv1d::new(1, 6, 3, 3, Init::XavierUniform, &mut rng);
+    let dense = Dense::new(2, 4, Init::XavierUniform, &mut rng);
+    let merged = conv.out_dim() + dense.out_dim();
+    let mut net = Sequential::new()
+        .with(Branches::new(vec![conv.into(), dense.into()]))
+        .with(Dense::new(merged, 3, Init::XavierUniform, &mut rng));
+    let x = random_tensor(2, 8, 1.0, &mut rng);
+    let t = random_tensor(2, 3, 1.0, &mut rng);
+    check_all_grads(&mut net, &x, &MseTo(t), "branches+dense+mse");
+}

@@ -1,0 +1,58 @@
+//! Pin the committed trained agent: `artifacts/pensieve_norway.json`
+//! (produced by `examples/pensieve_train.rs`) must load and beat
+//! Buffer-Based on the Norway test split — normalized score > 1.0,
+//! where 0 = Random and 1 = BB (ROADMAP convention).
+//!
+//! The corpus constants are the contract with the trainer: the split is
+//! regenerated from the same (count, len, seed), so the test evaluates
+//! on exactly the held-out traces the artifact was selected against.
+
+use osa_abr::prelude::*;
+use osa_pensieve::PensieveAgent;
+use osa_trace::prelude::*;
+
+/// Must match `examples/pensieve_train.rs`.
+const CORPUS_COUNT: usize = 60;
+const CORPUS_LEN: usize = 400;
+const CORPUS_SEED: u64 = 2020;
+
+const ARTIFACT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../artifacts/pensieve_norway.json"
+);
+
+#[test]
+fn committed_agent_beats_bb_on_norway_test_split() {
+    let text = std::fs::read_to_string(ARTIFACT).expect("read artifacts/pensieve_norway.json");
+    let mut agent = PensieveAgent::from_json(&text).expect("parse committed agent");
+
+    let split = Split::generate(Dataset::Norway, CORPUS_COUNT, CORPUS_LEN, CORPUS_SEED);
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+
+    let rnd = evaluate_policy(&video, &cfg, &split.test, &mut RandomPolicy, CORPUS_SEED);
+    let bb = evaluate_policy(
+        &video,
+        &cfg,
+        &split.test,
+        &mut BufferBased::default(),
+        CORPUS_SEED,
+    );
+    let pen = evaluate_policy(&video, &cfg, &split.test, &mut agent, CORPUS_SEED);
+
+    assert!(
+        bb.mean_qoe > rnd.mean_qoe,
+        "anchors inverted: bb {} vs random {}",
+        bb.mean_qoe,
+        rnd.mean_qoe
+    );
+    let norm = normalized_score(pen.mean_qoe, rnd.mean_qoe, bb.mean_qoe);
+    assert!(
+        norm > 1.0,
+        "committed Pensieve no longer beats BB: normalized {norm:.3} \
+         (qoe {:.3} vs bb {:.3}, random {:.3})",
+        pen.mean_qoe,
+        bb.mean_qoe,
+        rnd.mean_qoe
+    );
+}

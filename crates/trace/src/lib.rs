@@ -23,6 +23,8 @@
 //!   carved from the training side;
 //! - [`fault`] — outage / spike / rate-limit transforms for robustness
 //!   experiments;
+//! - [`link`] — piecewise-constant capacity integration (bytes over a
+//!   window, transfer durations) for the ABR chunk simulator;
 //! - [`io`] — JSON trace caching on top of `osa_nn::json`.
 //!
 //! # Determinism
@@ -51,6 +53,7 @@
 pub mod dataset;
 pub mod fault;
 pub mod io;
+pub mod link;
 pub mod mobile;
 pub mod samplers;
 pub mod split;
@@ -59,6 +62,7 @@ pub mod trace;
 pub use dataset::Dataset;
 pub use fault::{inject, Fault, MAX_MBPS};
 pub use io::{load_traces, save_traces, IoError};
+pub use link::{bytes_over, bytes_per_period, transfer_time, BYTES_PER_MBIT};
 pub use mobile::MarkovGaussian;
 pub use split::Split;
 pub use trace::{Trace, TraceStats};
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use crate::dataset::Dataset;
     pub use crate::fault::{inject, Fault, MAX_MBPS};
     pub use crate::io::{load_traces, save_traces, IoError};
+    pub use crate::link::{bytes_over, bytes_per_period, transfer_time, BYTES_PER_MBIT};
     pub use crate::mobile::MarkovGaussian;
     pub use crate::split::Split;
     pub use crate::trace::{Trace, TraceStats};

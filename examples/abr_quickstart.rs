@@ -1,0 +1,112 @@
+//! End-to-end tour of the ABR stack, asserting its contracts as it goes
+//! (this runs in CI as a determinism gate): generate a small Norway
+//! corpus, train a tiny Pensieve with the synchronous-streams A2C,
+//! round-trip it through the JSON model format bit-for-bit, and score
+//! Random / Buffer-Based / Pensieve on the held-out test split — twice,
+//! verifying both runs agree exactly.
+//!
+//! ```sh
+//! cargo run --release --example abr_quickstart
+//! ```
+
+use osa::abr::prelude::*;
+use osa::mdp::prelude::A2cConfig;
+use osa::nn::prelude::Rng;
+use osa::pensieve::{PensieveAgent, PensieveConfig};
+use osa::trace::prelude::*;
+
+const SEED: u64 = 7;
+const TRACES: usize = 16;
+const TRACE_LEN: usize = 240;
+
+fn train_once() -> (PensieveAgent, PolicyScore) {
+    let split = Split::generate(Dataset::Norway, TRACES, TRACE_LEN, SEED);
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+
+    let mut agent = PensieveAgent::new(PensieveConfig::tiny(), &mut Rng::seed_from_u64(SEED));
+    let a2c = A2cConfig {
+        gamma: 0.99,
+        rollout_len: 48,
+        workers: 4,
+        updates: 400,
+        seed: SEED,
+        ..A2cConfig::default()
+    };
+    let report = agent.train_on_traces(&video, &cfg, &split.train, &a2c);
+    assert_eq!(report.updates, 400);
+
+    let score = evaluate_policy(&video, &cfg, &split.test, &mut agent, SEED);
+    (agent, score)
+}
+
+fn main() {
+    let start = std::time::Instant::now();
+    let split = Split::generate(Dataset::Norway, TRACES, TRACE_LEN, SEED);
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    println!(
+        "norway corpus: {} train / {} validation / {} test traces",
+        split.train.len(),
+        split.validation.len(),
+        split.test.len()
+    );
+
+    // 1. Train a tiny Pensieve and score all three policies on the
+    //    held-out test split.
+    let (agent, pen) = train_once();
+    let pensieve_qoe = pen.mean_qoe;
+    let rnd = evaluate_policy(&video, &cfg, &split.test, &mut RandomPolicy, SEED);
+    let bb = evaluate_policy(&video, &cfg, &split.test, &mut BufferBased::default(), SEED);
+
+    println!("\npolicy      mean QoE   rebuffer s   bitrate Mbps   normalized");
+    for (name, score) in [("Random", &rnd), ("BB", &bb), ("Pensieve", &pen)] {
+        let norm = normalized_score(score.mean_qoe, rnd.mean_qoe, bb.mean_qoe);
+        println!(
+            "{name:10} {:+9.3}   {:10.2}   {:12.2}   {norm:+10.3}",
+            score.mean_qoe, score.mean_rebuffer_s, score.mean_bitrate_mbps
+        );
+    }
+    assert!(
+        bb.mean_qoe > rnd.mean_qoe,
+        "BB must beat Random on the Norway test split"
+    );
+    assert!(
+        pensieve_qoe > rnd.mean_qoe,
+        "trained Pensieve must at least beat Random ({pensieve_qoe} vs {})",
+        rnd.mean_qoe
+    );
+
+    // 2. Model persistence is bit-exact: save → load → identical JSON
+    //    and identical decisions.
+    let json = agent.to_json();
+    let mut twin = PensieveAgent::from_json(&json).expect("reload saved agent");
+    assert_eq!(twin.to_json(), json, "save/load round-trip must be exact");
+    let twin_score = evaluate_policy(&video, &cfg, &split.test, &mut twin, SEED);
+    assert_eq!(
+        twin_score.mean_qoe.to_bits(),
+        pensieve_qoe.to_bits(),
+        "reloaded agent must score identically"
+    );
+
+    // 3. Evaluation is deterministic: scoring the same policy again
+    //    reproduces every aggregate bit-for-bit.
+    let rnd2 = evaluate_policy(&video, &cfg, &split.test, &mut RandomPolicy, SEED);
+    assert_eq!(rnd.mean_qoe.to_bits(), rnd2.mean_qoe.to_bits());
+    assert_eq!(
+        rnd.mean_rebuffer_s.to_bits(),
+        rnd2.mean_rebuffer_s.to_bits()
+    );
+
+    // 4. Training is deterministic end to end: a full re-run yields a
+    //    byte-identical model and test score.
+    let (agent2, pen2) = train_once();
+    assert_eq!(
+        agent2.to_json(),
+        json,
+        "re-run diverged: training is not deterministic"
+    );
+    assert_eq!(pen2.mean_qoe.to_bits(), pensieve_qoe.to_bits());
+
+    println!("\nall ABR contracts held ({:.2?})", start.elapsed());
+}

@@ -1,0 +1,119 @@
+//! Train the committed Pensieve agent (`artifacts/pensieve_norway.json`).
+//!
+//! Trains the default reduced-scale network on the Norway train split,
+//! selects the best of a few seeds by validation QoE, reports the
+//! Random / BB / Pensieve table on the held-out test split, and writes
+//! the winning agent to `artifacts/pensieve_norway.json`. The corpus
+//! constants here are the contract for
+//! `crates/pensieve/tests/trained_model.rs`, which reloads the artifact
+//! and pins its normalized test score above 1.0 (better than BB).
+//!
+//! ```sh
+//! cargo run --release --example pensieve_train
+//! ```
+//!
+//! Deterministic: a re-run reproduces the artifact byte-for-byte.
+
+use osa::abr::prelude::*;
+use osa::mdp::prelude::A2cConfig;
+use osa::nn::prelude::Rng;
+use osa::pensieve::{PensieveAgent, PensieveConfig};
+use osa::trace::prelude::*;
+
+/// Corpus contract shared with `crates/pensieve/tests/trained_model.rs`.
+const CORPUS_COUNT: usize = 60;
+const CORPUS_LEN: usize = 400;
+const CORPUS_SEED: u64 = 2020;
+
+const TRAIN_SEEDS: [u64; 4] = [1, 2, 3, 4];
+/// Two-phase schedule: explore with a high entropy bonus, then sharpen
+/// with a low one so the greedy (argmax) policy the tables score
+/// matches what training actually optimized.
+/// (updates, actor_lr, critic_lr, entropy_coef)
+const PHASES: [(usize, f32, f32, f32); 2] =
+    [(8000, 0.003, 0.01, 0.05), (4000, 0.001, 0.003, 0.005)];
+
+fn main() {
+    let start = std::time::Instant::now();
+    let split = Split::generate(Dataset::Norway, CORPUS_COUNT, CORPUS_LEN, CORPUS_SEED);
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    println!(
+        "norway corpus: {} train / {} validation / {} test traces",
+        split.train.len(),
+        split.validation.len(),
+        split.test.len()
+    );
+
+    let mut best: Option<(PensieveAgent, f64, u64)> = None;
+    for seed in TRAIN_SEEDS {
+        let mut agent =
+            PensieveAgent::new(PensieveConfig::default(), &mut Rng::seed_from_u64(seed));
+        let mut env_steps = 0;
+        let mut recent = 0.0;
+        for (i, (updates, actor_lr, critic_lr, entropy_coef)) in PHASES.iter().enumerate() {
+            let a2c = A2cConfig {
+                gamma: 0.9,
+                rollout_len: 48,
+                workers: 16,
+                updates: *updates,
+                actor_lr: *actor_lr,
+                critic_lr: *critic_lr,
+                entropy_coef: *entropy_coef,
+                seed: seed + 1000 * i as u64,
+                ..A2cConfig::default()
+            };
+            let report = agent.train_on_traces(&video, &cfg, &split.train, &a2c);
+            env_steps += report.env_steps;
+            recent = report.recent_mean_return(50);
+        }
+        let val = evaluate_policy(&video, &cfg, &split.validation, &mut agent, seed);
+        println!(
+            "seed {seed}: {env_steps} env steps, recent mean return {recent:+.2}, \
+             validation QoE {:+.4}",
+            val.mean_qoe
+        );
+        if best.as_ref().is_none_or(|(_, q, _)| val.mean_qoe > *q) {
+            best = Some((agent, val.mean_qoe, seed));
+        }
+    }
+    let (mut agent, val_qoe, seed) = best.expect("at least one seed trained");
+    println!("selected seed {seed} (validation QoE {val_qoe:+.4})");
+
+    let rnd = evaluate_policy(&video, &cfg, &split.test, &mut RandomPolicy, CORPUS_SEED);
+    let bb = evaluate_policy(
+        &video,
+        &cfg,
+        &split.test,
+        &mut BufferBased::default(),
+        CORPUS_SEED,
+    );
+    let pen = evaluate_policy(&video, &cfg, &split.test, &mut agent, CORPUS_SEED);
+
+    println!("\ntest-split scores:");
+    println!("policy      mean QoE   rebuffer s   bitrate Mbps   normalized");
+    for s in [&rnd, &bb, &pen] {
+        let norm = normalized_score(s.mean_qoe, rnd.mean_qoe, bb.mean_qoe);
+        println!(
+            "{:10} {:+9.3}   {:10.2}   {:12.2}   {norm:+10.3}",
+            s.name, s.mean_qoe, s.mean_rebuffer_s, s.mean_bitrate_mbps
+        );
+    }
+    let norm = normalized_score(pen.mean_qoe, rnd.mean_qoe, bb.mean_qoe);
+    assert!(
+        norm > 1.0,
+        "trained Pensieve must beat BB on the test split (normalized {norm:.3})"
+    );
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/artifacts/pensieve_norway.json"
+    );
+    std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap())
+        .expect("create artifacts/");
+    std::fs::write(path, agent.to_json()).expect("write artifact");
+    println!(
+        "\nagent written to artifacts/pensieve_norway.json ({:.2?})",
+        start.elapsed()
+    );
+}

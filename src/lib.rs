@@ -12,8 +12,8 @@
 //! | [`nn`] | `osa-nn` | implemented: tensors, Dense/Conv1d, manual backprop, Adam/RMSProp/SGD, JSON persistence, seeded PRNG; GEMMs row-sharded over the runtime pool |
 //! | [`mdp`] | `osa-mdp` | implemented: Env/Policy/ValueFunction traits, rollouts, GAE(γ, λ), A2C trainer with synchronous parallel streams (bit-identical at any pool width) |
 //! | [`trace`] | `osa-trace` | implemented: six throughput datasets (Markov-modulated mobile-like + 4 i.i.d. samplers), deterministic splits, fault injection, JSON caching; pooled corpus generation |
-//! | [`abr`] | `osa-abr` | scaffold |
-//! | [`pensieve`] | `osa-pensieve` | scaffold |
+//! | [`abr`] | `osa-abr` | implemented: multi-session chunk-level streaming engine (trace-driven link, 80 ms RTT, EnvivioDash3-style video, §3.1 linear QoE), batched pool-parallel `step_all` bit-identical at any worker count, BB/Random baselines, `AbrEnv` adapter |
+//! | [`pensieve`] | `osa-pensieve` | implemented: branched Conv1d actor-critic over the ABR state encoding, A2C training, batched greedy inference, bit-exact JSON persistence (`artifacts/pensieve_norway.json`) |
 //! | [`ocsvm`] | `osa-ocsvm` | scaffold |
 //! | [`core`] | `osa-core` | scaffold |
 //! | [`cc`] | `osa-cc` | scaffold |
@@ -87,6 +87,29 @@ mod tests {
         let inline = ThreadPool::new(1).parallel_reduce(100, 8, map, |a, b| a + b);
         assert_eq!(pooled, Some(4950));
         assert_eq!(pooled, inline);
+    }
+
+    /// The facade must expose the ABR engine and the Pensieve agent
+    /// end-to-end: stream one batch of sessions and take one batched
+    /// greedy decision.
+    #[test]
+    fn facade_reaches_abr_and_pensieve() {
+        use crate::abr::prelude::*;
+        use crate::nn::prelude::{Rng, Tensor};
+        use crate::pensieve::{PensieveAgent, PensieveConfig};
+        use crate::trace::Trace;
+
+        let traces = vec![Trace::new("t", 1.0, vec![3.0; 10])];
+        let mut sim =
+            MultiSession::new(VideoModel::envivio(), AbrConfig::default(), traces, 4, true);
+        let mut agent = PensieveAgent::new(PensieveConfig::tiny(), &mut Rng::seed_from_u64(1));
+        let mut obs = Tensor::zeros(4, OBS_DIM);
+        let mut actions = vec![0usize; 4];
+        let mut rng = Rng::seed_from_u64(2);
+        sim.fill_observations(&mut obs);
+        agent.decide_all(&sim, &obs, &mut actions, &mut rng);
+        sim.step_all(&actions);
+        assert!((0..4).all(|i| sim.chunks_total(i) == 1));
     }
 
     /// Scaffolded crates are wired into the DAG even before they are
