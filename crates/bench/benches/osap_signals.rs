@@ -1,0 +1,186 @@
+//! Microbenchmark: what the safety layer costs per decision.
+//!
+//! Three questions, one report (`BENCH_osap.json` at the repo root):
+//!
+//! 1. **Per-decision signal cost** — a full `SafeAgent::decide`
+//!    (observe → k-window variance → threshold → ensemble-mean act) for
+//!    each of U_S, U_π, and U_V. The paper's runtime argument is that
+//!    the decision-aware signals are *cheaper* than classic novelty
+//!    detection: U_π shares its stacked actor forward with the act that
+//!    needs it anyway, and U_V adds one stacked critic forward, while
+//!    U_S pays a support-vector loop (~650 SVs × 25-dim RBF) on top of
+//!    the acting forward — a cost that grows with the training corpus,
+//!    where the ensemble signals stay constant.
+//! 2. **SMO train time** — fitting the U_S one-class SVM on the §3.1
+//!    feature corpus (~6.3k windows), the offline cost a deployment
+//!    pays per calibration.
+//! 3. **Batched vs sequential ensemble forward** — the 5-replica
+//!    stacked actor forward against five per-replica forwards of the
+//!    same weights, pinning the win that makes the ensemble signals
+//!    affordable.
+//!
+//! ```sh
+//! cargo bench -p osa-bench --bench osap_signals
+//! ```
+//!
+//! `OSA_BENCH_SAMPLES` scales sample counts (never the work per timed
+//! iteration), so smoke runs stay comparable on the gated medians.
+
+use osa_abr::prelude::*;
+use osa_bench::osap;
+use osa_bench::{counting_alloc::CountingAlloc, hardware_threads, run_bench};
+use osa_core::prelude::*;
+use osa_mdp::Policy;
+use osa_nn::json::{obj, Value};
+use osa_nn::rng::Rng;
+use osa_nn::tensor::Tensor;
+use osa_ocsvm::prelude::*;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Safe-agent decisions timed per iteration.
+const DECISIONS_PER_ITER: usize = 64;
+/// Ensemble forwards timed per iteration (both layouts).
+const FORWARDS_PER_ITER: usize = 64;
+
+fn samples() -> usize {
+    std::env::var("OSA_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Plausible observation bank: decide-loop cost is content-independent,
+/// but cycling inputs defeats any lazy caching a constant obs would hit.
+fn obs_bank(rng: &mut Rng) -> Vec<Vec<f32>> {
+    (0..16)
+        .map(|_| (0..OBS_DIM).map(|_| rng.next_f32() * 0.5).collect())
+        .collect()
+}
+
+fn main() {
+    let samples = samples();
+    let fit_samples = (samples / 20).max(3);
+    println!(
+        "{DECISIONS_PER_ITER} decisions / {FORWARDS_PER_ITER} forwards per iteration, \
+         {samples} samples, {} hardware thread(s)",
+        hardware_threads()
+    );
+
+    let split = osap::corpus();
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    let ens = osap::load_ensemble();
+    let mut rng = Rng::seed_from_u64(9);
+    let bank = obs_bank(&mut rng);
+    let mut results = Vec::new();
+
+    // 1. Per-decision cost of each guarded signal.
+    let svm = osap::fit_us_svm(&ens, &video, &cfg, &split.train);
+    let sv_count = svm.diag().expect("fitted").support_vectors;
+    let mut per_decision = Vec::new();
+    for (name, mut agent) in osap::signal_agents(&ens, svm.clone()) {
+        let mut i = 0usize;
+        let stats = run_bench(&format!("{name}_decision"), samples, || {
+            for _ in 0..DECISIONS_PER_ITER {
+                std::hint::black_box(agent.decide(&bank[i % bank.len()]));
+                i += 1;
+            }
+        });
+        let ns = stats.median_ns as f64 / DECISIONS_PER_ITER as f64;
+        per_decision.push((name, ns));
+        let mut entry = stats.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert("ns_per_decision".into(), Value::Num(ns.round()));
+            map.insert(
+                "decisions_per_iter".into(),
+                Value::Num(DECISIONS_PER_ITER as f64),
+            );
+        }
+        results.push(entry);
+    }
+
+    // 2. Offline SMO fit on the real §3.1 corpus.
+    let mut collector = abr_safe_agent(
+        ens.clone(),
+        osap::RateCollector { rates: Vec::new() },
+        Monitor::new(DEFAULT_K, f32::INFINITY, DEFAULT_L),
+    );
+    let mut windows: Vec<[f32; FEATURE_DIM]> = Vec::new();
+    for t in &split.train[..osap::US_FIT_TRACES] {
+        run_session(&mut collector, &video, &cfg, t);
+        windows.extend(window_features(&collector.signal().rates));
+    }
+    let mut x = Tensor::zeros(windows.len(), FEATURE_DIM);
+    for (i, w) in windows.iter().enumerate() {
+        x.row_mut(i).copy_from_slice(w);
+    }
+    let stats = run_bench("ocsvm_fit", fit_samples, || {
+        let mut fresh = OcSvm::new(OcSvmConfig::default());
+        fresh.fit(&x);
+        std::hint::black_box(fresh.diag().map(|d| d.support_vectors));
+    });
+    let mut entry = stats.to_json();
+    if let Value::Obj(map) = &mut entry {
+        map.insert("windows".into(), Value::Num(windows.len() as f64));
+        map.insert("support_vectors".into(), Value::Num(sv_count as f64));
+    }
+    results.push(entry);
+
+    // 3. Stacked vs sequential: the same five replicas, one batched
+    //    GEMM against five single-replica forwards.
+    let text = std::fs::read_to_string(osap::ARTIFACT).expect("artifact");
+    let mut agents = PensieveEnsemble::agents_from_json(&text).expect("replicas parse");
+    let mut i = 0usize;
+    let stacked = run_bench("stacked_forward", samples, || {
+        let mut e = ens.borrow_mut();
+        for _ in 0..FORWARDS_PER_ITER {
+            e.policy_eval(&bank[i % bank.len()]);
+            std::hint::black_box(e.mean_probs());
+            i += 1;
+        }
+    });
+    let mut probs = Vec::new();
+    let mut i = 0usize;
+    let sequential = run_bench("sequential_forward", samples, || {
+        for _ in 0..FORWARDS_PER_ITER {
+            let obs = &bank[i % bank.len()];
+            for agent in agents.iter_mut() {
+                agent.actor_critic_mut().action_probs_into(obs, &mut probs);
+                std::hint::black_box(&probs);
+            }
+            i += 1;
+        }
+    });
+    let speedup = sequential.median_ns as f64 / stacked.median_ns as f64;
+    println!("stacked over sequential: {speedup:.2}x");
+    for (stats, label) in [(stacked, "stacked"), (sequential, "sequential")] {
+        let mut entry = stats.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert(
+                "forwards_per_iter".into(),
+                Value::Num(FORWARDS_PER_ITER as f64),
+            );
+            if label == "stacked" {
+                map.insert(
+                    "speedup_vs_sequential".into(),
+                    Value::Num((speedup * 100.0).round() / 100.0),
+                );
+            }
+        }
+        results.push(entry);
+    }
+
+    println!("per-decision: {per_decision:?}");
+    let report = obj(vec![
+        ("bench", Value::Str("osap_signals".into())),
+        ("video", Value::Str("envivio-synthetic".into())),
+        ("dataset", Value::Str("norway".into())),
+        ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        ("results", Value::Arr(results)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_osap.json");
+    osa_bench::write_report(path, report).expect("write BENCH_osap.json");
+    println!("baseline written to BENCH_osap.json");
+}

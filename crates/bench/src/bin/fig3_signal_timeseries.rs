@@ -1,0 +1,77 @@
+//! Figure 3 — per-decision signal time series (§3.2).
+//!
+//! The raw uncertainty value and its k-window variance for each signal,
+//! decision by decision, over one in-distribution Norway session and
+//! one Belgium 4G session, with the calibrated threshold α and the trip
+//! index. This is the figure that shows *why* the monitors fire: in
+//! distribution the variance hugs the floor; under shift it jumps and
+//! stays above α.
+//!
+//! Writes `artifacts/figures/fig3_signal_timeseries.json`.
+
+use osa_abr::prelude::*;
+use osa_bench::osap;
+use osa_core::prelude::*;
+use osa_nn::json::{obj, Value};
+use osa_trace::prelude::*;
+
+fn series(values: &[f32]) -> Value {
+    Value::Arr(values.iter().map(|&v| Value::Num(v as f64)).collect())
+}
+
+fn main() {
+    let split = osap::corpus();
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    let ens = osap::load_ensemble();
+    let svm = osap::fit_us_svm(&ens, &video, &cfg, &split.train);
+    let quiet = split.test[0].clone();
+    let shifted = Dataset::Belgium
+        .generate(1, osap::CORPUS_LEN, 77)
+        .pop()
+        .expect("one Belgium trace");
+    let mut rows = Vec::new();
+
+    for (name, mut agent, cal) in osap::calibrated_signal_agents(
+        &ens,
+        svm.clone(),
+        &video,
+        &cfg,
+        &split.validation,
+        DEFAULT_MARGIN,
+    ) {
+        for (setting, trace) in [("norway", &quiet), ("belgium", &shifted)] {
+            let run = run_session(&mut agent, &video, &cfg, trace);
+            println!(
+                "{name:<5} {setting:<8} {} decisions, switch {:?}",
+                run.raw.len(),
+                run.switch_index
+            );
+            rows.push(obj(vec![
+                ("signal", Value::Str(name.into())),
+                ("setting", Value::Str(setting.into())),
+                ("alpha", Value::Num(cal.alpha as f64)),
+                ("raw", series(&run.raw)),
+                ("variance", series(&run.variance)),
+                (
+                    "switch_index",
+                    match run.switch_index {
+                        Some(i) => Value::Num(i as f64),
+                        None => Value::Null,
+                    },
+                ),
+            ]));
+        }
+    }
+
+    let report = obj(vec![
+        ("figure", Value::Str("fig3_signal_timeseries".into())),
+        ("margin", Value::Num(DEFAULT_MARGIN as f64)),
+        ("k", Value::Num(DEFAULT_K as f64)),
+        ("l", Value::Num(DEFAULT_L as f64)),
+        ("rows", Value::Arr(rows)),
+    ]);
+    let path = osap::figure_path("fig3_signal_timeseries.json");
+    osa_bench::write_report(&path, report).expect("write figure artifact");
+    println!("written to {}", path.display());
+}

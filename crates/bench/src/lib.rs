@@ -1,44 +1,36 @@
 //! `osa-bench` — the evaluation harness (DESIGN.md §1 row 9).
 //!
-//! # Contract
+//! # What's here
 //!
-//! This crate will regenerate every figure in the paper's evaluation
-//! section plus its runtime remarks:
+//! - The paper's figure binaries (`src/bin/`): `fig1_in_distribution`
+//!   (in-distribution QoE parity), `fig2_distribution_shift` (Belgium
+//!   4G), `fig3_signal_timeseries`, `fig4_detection_delay`, `fig5_cdf`,
+//!   and `table_runtime`. Each is fully deterministic off the committed
+//!   ensemble artifact and writes a diffable JSON to
+//!   `artifacts/figures/` (see [`osap`], the shared setup). Remaining
+//!   from DESIGN.md §7: the ablation binaries (thresholding, ensemble
+//!   size, detector choice, revert strategy, CC generalization).
+//! - Microbenchmarks (`benches/`, hand-rolled harness — the offline
+//!   build has no criterion): NN forward/backward, A2C rollout
+//!   throughput, trace generation, ABR engine step, and `osap_signals`
+//!   (per-decision signal cost, SMO fit, stacked-vs-sequential
+//!   ensemble forward). Baselines live at the repo root
+//!   (`BENCH_nn.json` … `BENCH_osap.json`) so later performance PRs
+//!   have a trajectory to beat.
 //!
-//! - one binary per figure (`fig1_in_distribution` … `fig5_cdf`) and a
-//!   `table_runtime` binary, each taking `--seed` and caching trained
-//!   models as serde-JSON so re-runs are incremental;
-//! - the ablation binaries of DESIGN.md §7 (thresholding, ensemble size,
-//!   detector choice, calibration target, revert strategy, default policy,
-//!   CC generalization);
-//! - Criterion microbenchmarks for the hot paths: per-decision latency of
-//!   the three uncertainty signals, ABR environment step throughput, NN
-//!   forward/backward (see `benches/nn_forward_backward.rs`, live now),
-//!   A2C rollout/training throughput at 1/2/4 workers
-//!   (`benches/mdp_rollout.rs`, live now), OC-SVM train/predict, and
-//!   trace generation.
-//!
-//! The NN and MDP microbenches are implemented; their baseline numbers
-//! are recorded in `BENCH_nn.json` and `BENCH_mdp.json` at the repo root
-//! so later performance PRs have a trajectory to beat. [`run_bench`] is
-//! the shared sampling harness, [`counting_alloc`] the heap-traffic
-//! instrument behind its `allocs_per_iter` column, and [`compare`] the
-//! regression gate (`bench_compare` binary) that diffs a fresh report
-//! against the committed baseline.
+//! [`run_bench`] is the shared sampling harness, [`counting_alloc`] the
+//! heap-traffic instrument behind its `allocs_per_iter` column, and
+//! [`compare`] the regression gate (`bench_compare` binary) that diffs
+//! a fresh report against the committed baseline.
 #![deny(unsafe_code)]
+
+pub mod osap;
 
 use std::io;
 use std::path::Path;
 use std::time::Instant;
 
 use osa_nn::json::{obj, Value};
-
-/// Marks the figure-reproduction binaries as still pending (they land
-/// with `osa-core`). The microbench harness, regression gate, and
-/// zero-alloc proofs are live, and since the ABR engine landed the
-/// benched stack covers `osa-abr`/`osa-pensieve` too — those crates no
-/// longer carry scaffold flags of their own.
-pub const IMPLEMENTED: bool = false;
 
 /// Allocation-counting shim around the system allocator.
 ///
@@ -392,15 +384,6 @@ pub mod compare {
 mod tests {
     use super::*;
     use osa_nn::json::obj;
-
-    /// The figure binaries are the one remaining scaffolded piece of
-    /// this crate; `osa-abr` and `osa-pensieve` shed their flags when
-    /// the ABR engine landed, so this is the workspace's last
-    /// `IMPLEMENTED` gate.
-    #[test]
-    fn figure_binaries_still_scaffolded() {
-        assert!(!std::hint::black_box(super::IMPLEMENTED));
-    }
 
     /// Regression: a NaN reward in a report yields an error from the raw
     /// codec (not a panic), and a sanitized report that still serializes.

@@ -1,0 +1,446 @@
+//! The Pensieve agent/value ensemble behind U_π and U_V (§3.1).
+//!
+//! The paper trains i = 5 replicas of the agent from different seeds and
+//! reads uncertainty off their disagreement: U_π is the KL divergence of
+//! each replica's action distribution from the ensemble mean, U_V the
+//! distance of each replica's value estimate from the mean value — in
+//! both cases the top-2 outliers are discarded and the kept 3 averaged,
+//! so one diverged replica cannot fake (or mask) uncertainty.
+//!
+//! # One GEMM, not five
+//!
+//! Every decision needs all replicas' outputs, so the ensemble snapshots
+//! the replica weights into two [`StackedNet`]s (actor towers, critic
+//! towers) and evaluates each layer for all replicas in a **single
+//! grouped GEMM** — see `osa_nn::stacked`. `BENCH_osap.json` pins this
+//! against five sequential `Sequential` forwards.
+//!
+//! # Shared forward between acting and U_π
+//!
+//! The safe agent *acts* with the ensemble-mean distribution (argmax),
+//! which needs exactly the stacked actor forward U_π also needs. The
+//! ensemble therefore caches the most recent policy evaluation with a
+//! `fresh` flag: when the U_π signal observes an observation first, the
+//! subsequent [`PensieveEnsemble::act`] on the same observation reuses
+//! the cached mean — the *marginal* cost of U_π is just the KL sums.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use osa_abr::{NUM_BITRATES, OBS_DIM};
+use osa_nn::json::{obj, Value};
+use osa_nn::stacked::StackedNet;
+use osa_nn::tensor::Tensor;
+use osa_nn::workspace::Workspace;
+use osa_pensieve::{PensieveAgent, PensieveConfig};
+
+use crate::signal::UncertaintySignal;
+
+/// Serialized-ensemble format version (bumped on any layout change).
+pub const ENSEMBLE_FORMAT_VERSION: u32 = 1;
+
+/// Probability floor for the U_π KL sum (see
+/// [`PensieveEnsemble::policy_disagreement`]).
+pub const KL_FLOOR: f32 = 1e-6;
+
+/// A stacked ensemble of Pensieve replicas: the mean-policy actor the
+/// safe agent runs, and the disagreement statistics behind U_π and U_V.
+pub struct PensieveEnsemble {
+    cfg: PensieveConfig,
+    replicas: usize,
+    /// Members averaged after discarding the `replicas − keep` largest
+    /// disagreements (§3.1: keep 3 of 5).
+    keep: usize,
+    actor: StackedNet,
+    critic: StackedNet,
+    // Reused scratch — all paths below are allocation-free after warm-up.
+    ws: Workspace,
+    x: Tensor,
+    logits: Tensor,
+    values: Tensor,
+    probs: Tensor,
+    mean_probs: Vec<f32>,
+    devs: Vec<f32>,
+    fresh: bool,
+}
+
+impl PensieveEnsemble {
+    /// Snapshot trained replicas into stacked actor/critic nets. All
+    /// replicas must share one architecture; needs at least 2 (no
+    /// disagreement exists among fewer).
+    pub fn from_agents(agents: &[PensieveAgent]) -> Result<PensieveEnsemble, String> {
+        if agents.len() < 2 {
+            return Err("ensemble needs at least 2 replicas".into());
+        }
+        let cfg = agents[0].config();
+        for (r, a) in agents.iter().enumerate() {
+            if a.config() != cfg {
+                return Err(format!("replica {r} architecture differs from replica 0"));
+            }
+        }
+        let actors: Vec<&osa_nn::Sequential> =
+            agents.iter().map(|a| &a.actor_critic().actor).collect();
+        let critics: Vec<&osa_nn::Sequential> =
+            agents.iter().map(|a| &a.actor_critic().critic).collect();
+        let actor = StackedNet::from_nets(&actors).map_err(|e| e.to_string())?;
+        let critic = StackedNet::from_nets(&critics).map_err(|e| e.to_string())?;
+        let replicas = agents.len();
+        Ok(PensieveEnsemble {
+            cfg,
+            replicas,
+            keep: replicas.saturating_sub(2).max(1),
+            actor,
+            critic,
+            ws: Workspace::new(),
+            x: Tensor::zeros(1, OBS_DIM),
+            logits: Tensor::zeros(0, 0),
+            values: Tensor::zeros(0, 0),
+            probs: Tensor::zeros(replicas, NUM_BITRATES),
+            mean_probs: vec![0.0; NUM_BITRATES],
+            devs: Vec::with_capacity(replicas),
+            fresh: false,
+        })
+    }
+
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    pub fn keep(&self) -> usize {
+        self.keep
+    }
+
+    pub fn config(&self) -> PensieveConfig {
+        self.cfg
+    }
+
+    /// Drop any cached policy evaluation (session boundary).
+    pub fn invalidate(&mut self) {
+        self.fresh = false;
+    }
+
+    /// Stacked actor forward of one observation: per-replica softmax and
+    /// the ensemble-mean distribution, cached for the next [`act`].
+    ///
+    /// [`act`]: PensieveEnsemble::act
+    pub fn policy_eval(&mut self, obs: &[f32]) {
+        self.x.row_mut(0).copy_from_slice(obs);
+        self.actor
+            .forward_into(&self.x, &mut self.ws, &mut self.logits);
+        for r in 0..self.replicas {
+            softmax_row(self.logits.row(r), self.probs.row_mut(r));
+        }
+        for j in 0..NUM_BITRATES {
+            let mut s = 0.0f32;
+            for r in 0..self.replicas {
+                s += self.probs.get(r, j);
+            }
+            self.mean_probs[j] = s / self.replicas as f32;
+        }
+        self.fresh = true;
+    }
+
+    /// Ensemble-mean action distribution of the last [`policy_eval`].
+    ///
+    /// [`policy_eval`]: PensieveEnsemble::policy_eval
+    pub fn mean_probs(&self) -> &[f32] {
+        &self.mean_probs
+    }
+
+    /// Per-replica action distributions of the last [`policy_eval`]
+    /// (`replicas × NUM_BITRATES`), e.g. for disagreement ablations.
+    ///
+    /// [`policy_eval`]: PensieveEnsemble::policy_eval
+    pub fn replica_probs(&self) -> &Tensor {
+        &self.probs
+    }
+
+    /// Act with the ensemble-mean policy: argmax of the mean
+    /// distribution (ties → lowest level, matching `Policy::greedy`).
+    /// Reuses the cached forward when a U_π observation of this decision
+    /// already ran it; the cache is consumed, so each decision computes
+    /// at most one actor forward.
+    pub fn act(&mut self, obs: &[f32]) -> usize {
+        if !self.fresh {
+            self.policy_eval(obs);
+        }
+        self.fresh = false;
+        let mut best = 0;
+        for (j, &p) in self.mean_probs.iter().enumerate() {
+            if p > self.mean_probs[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Raw U_π: per-replica `KL(π_r ‖ π_mean)`, discard the top-2
+    /// outliers, average the kept members.
+    ///
+    /// Actions carrying less than [`KL_FLOOR`] probability in a replica
+    /// are skipped and the mean is floored at the same value: trained
+    /// softmaxes routinely push losing actions into denormals (and a
+    /// denormal divided by the replica count underflows to 0), turning
+    /// the textbook sum into `±inf` over action mass that couldn't
+    /// matter less. The floored KL stays within `ln(1/KL_FLOOR)` per
+    /// action of the exact value on any meaningful disagreement.
+    pub fn policy_disagreement(&mut self, obs: &[f32]) -> f32 {
+        self.policy_eval(obs);
+        self.devs.clear();
+        for r in 0..self.replicas {
+            let mut kl = 0.0f32;
+            for (j, &p) in self.probs.row(r).iter().enumerate() {
+                if p > KL_FLOOR {
+                    kl += p * (p / self.mean_probs[j].max(KL_FLOOR)).ln();
+                }
+            }
+            self.devs.push(kl.max(0.0));
+        }
+        self.keep_mean()
+    }
+
+    /// Stacked critic forward: per-replica state values into `values`
+    /// (`replicas × 1`).
+    pub fn value_eval(&mut self, obs: &[f32]) {
+        self.x.row_mut(0).copy_from_slice(obs);
+        self.critic
+            .forward_into(&self.x, &mut self.ws, &mut self.values);
+    }
+
+    /// Raw U_V: per-replica distance of the value estimate from the
+    /// ensemble mean, discard the top-2 outliers, average the kept
+    /// members.
+    pub fn value_disagreement(&mut self, obs: &[f32]) -> f32 {
+        self.value_eval(obs);
+        let mut mean = 0.0f32;
+        for r in 0..self.replicas {
+            mean += self.values.get(r, 0);
+        }
+        mean /= self.replicas as f32;
+        self.devs.clear();
+        for r in 0..self.replicas {
+            self.devs.push((self.values.get(r, 0) - mean).abs());
+        }
+        self.keep_mean()
+    }
+
+    /// Mean of the `keep` smallest entries of `devs` (outlier discard).
+    fn keep_mean(&mut self) -> f32 {
+        self.devs.sort_unstable_by(f32::total_cmp);
+        let kept = &self.devs[..self.keep];
+        kept.iter().sum::<f32>() / self.keep as f32
+    }
+
+    /// Serialize as `{format_version, replicas: [PensieveAgent docs]}`.
+    /// This is the *source* representation — re-loading rebuilds the
+    /// stacked nets from the replica weights, bit-exactly.
+    pub fn agents_to_json(agents: &[PensieveAgent]) -> String {
+        let docs: Vec<Value> = agents
+            .iter()
+            .map(|a| Value::parse(&a.to_json()).expect("agent doc is valid JSON"))
+            .collect();
+        obj(vec![
+            ("format_version", Value::Num(ENSEMBLE_FORMAT_VERSION as f64)),
+            ("replicas", Value::Arr(docs)),
+        ])
+        .to_json()
+    }
+
+    /// Load the replica agents saved by [`agents_to_json`].
+    ///
+    /// [`agents_to_json`]: PensieveEnsemble::agents_to_json
+    pub fn agents_from_json(text: &str) -> Result<Vec<PensieveAgent>, String> {
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        let version = v
+            .get("format_version")
+            .and_then(Value::as_usize)
+            .ok_or("missing format_version")?;
+        if version != ENSEMBLE_FORMAT_VERSION as usize {
+            return Err(format!("unsupported ensemble format_version {version}"));
+        }
+        let docs = v
+            .get("replicas")
+            .and_then(Value::as_arr)
+            .ok_or("missing replicas array")?;
+        docs.iter()
+            .enumerate()
+            .map(|(r, d)| {
+                PensieveAgent::from_json(&d.to_json()).map_err(|e| format!("replica {r}: {e}"))
+            })
+            .collect()
+    }
+
+    /// Load an ensemble straight from its JSON document.
+    pub fn from_json(text: &str) -> Result<PensieveEnsemble, String> {
+        PensieveEnsemble::from_agents(&PensieveEnsemble::agents_from_json(text)?)
+    }
+}
+
+/// Row-wise max-subtracted softmax (the same math as
+/// `osa_mdp::ActorCritic::action_probs_batch_into`).
+fn softmax_row(logits: &[f32], probs: &mut [f32]) {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (p, &l) in probs.iter_mut().zip(logits) {
+        *p = (l - max).exp();
+        sum += *p;
+    }
+    for p in probs {
+        *p /= sum;
+    }
+}
+
+/// The ensemble shared between the acting policy and the U_π/U_V
+/// signals of one [`crate::safe_agent::SafeAgent`].
+pub type SharedEnsemble = Rc<RefCell<PensieveEnsemble>>;
+
+/// Wrap an ensemble for sharing.
+pub fn shared(ens: PensieveEnsemble) -> SharedEnsemble {
+    Rc::new(RefCell::new(ens))
+}
+
+/// U_π — agent-ensemble KL-divergence-to-mean (§3.1). Observing runs
+/// the stacked actor forward and leaves it cached for the decision's
+/// `act`, so this signal's marginal cost is the KL computation alone.
+pub struct PolicyDisagreement {
+    ens: SharedEnsemble,
+}
+
+impl PolicyDisagreement {
+    pub fn new(ens: SharedEnsemble) -> Self {
+        PolicyDisagreement { ens }
+    }
+}
+
+impl UncertaintySignal<[f32]> for PolicyDisagreement {
+    fn name(&self) -> &'static str {
+        "u_pi"
+    }
+
+    fn observe(&mut self, obs: &[f32]) -> f32 {
+        self.ens.borrow_mut().policy_disagreement(obs)
+    }
+
+    fn reset(&mut self) {
+        self.ens.borrow_mut().invalidate();
+    }
+}
+
+/// U_V — value-ensemble distance-to-mean (§3.1). Costs one stacked
+/// critic forward per decision on top of the acting forward.
+pub struct ValueDisagreement {
+    ens: SharedEnsemble,
+}
+
+impl ValueDisagreement {
+    pub fn new(ens: SharedEnsemble) -> Self {
+        ValueDisagreement { ens }
+    }
+}
+
+impl UncertaintySignal<[f32]> for ValueDisagreement {
+    fn name(&self) -> &'static str {
+        "u_v"
+    }
+
+    fn observe(&mut self, obs: &[f32]) -> f32 {
+        self.ens.borrow_mut().value_disagreement(obs)
+    }
+
+    fn reset(&mut self) {
+        self.ens.borrow_mut().invalidate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_mdp::Policy;
+    use osa_nn::rng::Rng;
+
+    fn agents(n: usize) -> Vec<PensieveAgent> {
+        (0..n)
+            .map(|s| PensieveAgent::new(PensieveConfig::tiny(), &mut Rng::seed_from_u64(s as u64)))
+            .collect()
+    }
+
+    fn obs(seed: u64) -> Vec<f32> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..OBS_DIM).map(|_| rng.range_f32(0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn mean_probs_match_per_replica_forwards() {
+        let mut reps = agents(5);
+        let mut ens = PensieveEnsemble::from_agents(&reps).unwrap();
+        let o = obs(3);
+        ens.policy_eval(&o);
+        let mut expect = vec![0.0f32; NUM_BITRATES];
+        for a in reps.iter_mut() {
+            let p = a.actor_critic_mut().action_probs(&o);
+            for (e, &pv) in expect.iter_mut().zip(&p) {
+                *e += pv / 5.0;
+            }
+        }
+        // Conv-lowered stacked layers match the replica forward to
+        // rounding, not bit-for-bit (see osa_nn::stacked docs).
+        for (a, b) in ens.mean_probs().iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5, "stacked {a} vs sequential {b}");
+        }
+    }
+
+    #[test]
+    fn disagreement_of_identical_replicas_is_zero() {
+        let one = PensieveAgent::new(PensieveConfig::tiny(), &mut Rng::seed_from_u64(9));
+        let clones: Vec<PensieveAgent> = (0..5)
+            .map(|_| PensieveAgent::from_json(&one.to_json()).unwrap())
+            .collect();
+        let mut ens = PensieveEnsemble::from_agents(&clones).unwrap();
+        let o = obs(1);
+        // Mathematically zero; the mean-of-5 rounds in f32, so the KL
+        // comes out at ~1e-8 rather than exactly 0.
+        assert!(ens.policy_disagreement(&o).abs() < 1e-6);
+        assert!(ens.value_disagreement(&o).abs() < 1e-6);
+        // Distinct replicas must actually disagree.
+        let mut ens = PensieveEnsemble::from_agents(&agents(5)).unwrap();
+        assert!(ens.policy_disagreement(&o) > 0.0);
+        assert!(ens.value_disagreement(&o) > 0.0);
+    }
+
+    #[test]
+    fn act_consumes_the_cached_forward() {
+        let mut ens = PensieveEnsemble::from_agents(&agents(5)).unwrap();
+        let o = obs(7);
+        ens.policy_disagreement(&o);
+        let cached = ens.act(&o);
+        let fresh = ens.act(&o);
+        assert_eq!(cached, fresh);
+    }
+
+    #[test]
+    fn ensemble_round_trips_through_json() {
+        let reps = agents(3);
+        let text = PensieveEnsemble::agents_to_json(&reps);
+        let loaded = PensieveEnsemble::agents_from_json(&text).unwrap();
+        assert_eq!(loaded.len(), 3);
+        let mut a = PensieveEnsemble::from_agents(&reps).unwrap();
+        let mut b = PensieveEnsemble::from_agents(&loaded).unwrap();
+        let o = obs(11);
+        assert_eq!(
+            a.policy_disagreement(&o).to_bits(),
+            b.policy_disagreement(&o).to_bits()
+        );
+        assert_eq!(
+            a.value_disagreement(&o).to_bits(),
+            b.value_disagreement(&o).to_bits()
+        );
+    }
+
+    #[test]
+    fn keep_discards_the_top_two() {
+        let mut ens = PensieveEnsemble::from_agents(&agents(5)).unwrap();
+        assert_eq!(ens.keep(), 3);
+        ens.devs = vec![5.0, 0.5, 100.0, 1.0, 1.5];
+        assert!((ens.keep_mean() - 1.0).abs() < 1e-6);
+    }
+}

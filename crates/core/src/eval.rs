@@ -1,0 +1,200 @@
+//! Session-level evaluation of a [`SafeAgent`] and the normalized
+//! scoring (0 = Random, 1 = Buffer-Based, §3.3) every figure binary
+//! shares.
+
+use osa_abr::eval::evaluate_policy;
+use osa_abr::policy::{BufferBased, RandomPolicy};
+use osa_abr::sim::{AbrConfig, MultiSession};
+use osa_abr::video::VideoModel;
+use osa_abr::OBS_DIM;
+use osa_nn::tensor::Tensor;
+use osa_trace::Trace;
+
+use crate::safe_agent::{SafeAgent, SafetyPolicy};
+use crate::signal::UncertaintySignal;
+
+/// Everything one trace's streaming session produced: QoE accounting
+/// plus the per-decision signal time series the paper's figures plot.
+#[derive(Clone, Debug)]
+pub struct SessionRun {
+    /// Sum of per-chunk linear QoE.
+    pub qoe: f64,
+    pub rebuffer_s: f64,
+    pub bitrate_mbps: f64,
+    pub chunks: u64,
+    /// Raw signal value at each decision (frozen at the last un-tripped
+    /// value after a switch).
+    pub raw: Vec<f32>,
+    /// k-window variance at each decision.
+    pub variance: Vec<f32>,
+    /// Decision index at which the agent switched to the fallback.
+    pub switch_index: Option<usize>,
+}
+
+/// Stream one trace end to end under `agent` (reset first), recording
+/// the signal time series. One 48-chunk session, started at trace
+/// time 0 — the same protocol as `osa_abr::evaluate_policy`.
+pub fn run_session<S, P, F>(
+    agent: &mut SafeAgent<[f32], S, P, F>,
+    video: &VideoModel,
+    cfg: &AbrConfig,
+    trace: &Trace,
+) -> SessionRun
+where
+    S: UncertaintySignal<[f32]>,
+    P: SafetyPolicy<[f32]>,
+    F: SafetyPolicy<[f32]>,
+{
+    agent.reset();
+    let mut sim = MultiSession::new(video.clone(), cfg.clone(), vec![trace.clone()], 1, false);
+    let mut obs = Tensor::zeros(1, OBS_DIM);
+    let mut raw = Vec::new();
+    let mut variance = Vec::new();
+    let mut actions = [0usize; 1];
+    while !sim.all_done() {
+        sim.fill_observations(&mut obs);
+        actions[0] = agent.decide(obs.row(0));
+        raw.push(agent.last_raw());
+        variance.push(agent.last_variance());
+        sim.step_all(&actions);
+    }
+    SessionRun {
+        qoe: sim.qoe_total(0),
+        rebuffer_s: sim.rebuffer_total(0),
+        bitrate_mbps: sim.bitrate_total_mbps(0),
+        chunks: sim.chunks_total(0),
+        raw,
+        variance,
+        switch_index: agent.switch_index(),
+    }
+}
+
+/// Aggregate of a safe agent over a trace set (one session per trace).
+#[derive(Clone, Debug)]
+pub struct SafeScore {
+    /// Mean linear QoE per chunk — comparable to
+    /// `osa_abr::PolicyScore::mean_qoe`.
+    pub mean_qoe: f64,
+    pub mean_rebuffer_s: f64,
+    pub sessions: usize,
+    pub chunks: u64,
+    /// Sessions in which the agent switched to the fallback.
+    pub switched_sessions: usize,
+    /// Mean switch decision index over the switched sessions.
+    pub mean_switch_index: f64,
+}
+
+/// Run one session per trace and aggregate.
+pub fn evaluate_safe_agent<S, P, F>(
+    agent: &mut SafeAgent<[f32], S, P, F>,
+    video: &VideoModel,
+    cfg: &AbrConfig,
+    traces: &[Trace],
+) -> SafeScore
+where
+    S: UncertaintySignal<[f32]>,
+    P: SafetyPolicy<[f32]>,
+    F: SafetyPolicy<[f32]>,
+{
+    assert!(!traces.is_empty(), "evaluate_safe_agent needs traces");
+    let (mut qoe, mut rebuf, mut chunks) = (0.0f64, 0.0f64, 0u64);
+    let mut switched = 0usize;
+    let mut switch_sum = 0.0f64;
+    for t in traces {
+        let run = run_session(agent, video, cfg, t);
+        qoe += run.qoe;
+        rebuf += run.rebuffer_s;
+        chunks += run.chunks;
+        if let Some(i) = run.switch_index {
+            switched += 1;
+            switch_sum += i as f64;
+        }
+    }
+    SafeScore {
+        mean_qoe: qoe / chunks as f64,
+        mean_rebuffer_s: rebuf / traces.len() as f64,
+        sessions: traces.len(),
+        chunks,
+        switched_sessions: switched,
+        mean_switch_index: if switched > 0 {
+            switch_sum / switched as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// The two QoE anchors of the normalized score.
+#[derive(Clone, Copy, Debug)]
+pub struct Anchors {
+    pub random_qoe: f64,
+    pub bb_qoe: f64,
+}
+
+/// Evaluate Random and Buffer-Based over `traces` to anchor the
+/// normalized scale. Deterministic given `seed` (which only feeds the
+/// Random policy).
+pub fn anchors(video: &VideoModel, cfg: &AbrConfig, traces: &[Trace], seed: u64) -> Anchors {
+    let rnd = evaluate_policy(video, cfg, traces, &mut RandomPolicy, seed);
+    let bb = evaluate_policy(video, cfg, traces, &mut BufferBased::default(), seed);
+    Anchors {
+        random_qoe: rnd.mean_qoe,
+        bb_qoe: bb.mean_qoe,
+    }
+}
+
+/// The §3.3 normalized score: 0 at Random's QoE, 1 at Buffer-Based's.
+pub fn normalized(qoe: f64, anchors: &Anchors) -> f64 {
+    osa_abr::eval::normalized_score(qoe, anchors.random_qoe, anchors.bb_qoe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Monitor;
+    use crate::safe_agent::BufferFallback;
+
+    struct Quiet;
+    impl UncertaintySignal<[f32]> for Quiet {
+        fn name(&self) -> &'static str {
+            "quiet"
+        }
+        fn observe(&mut self, _obs: &[f32]) -> f32 {
+            0.0
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn trace() -> Trace {
+        Trace::new("flat", 1.0, vec![3.0; 300])
+    }
+
+    #[test]
+    fn quiet_safe_agent_reproduces_its_policy_exactly() {
+        // With a never-tripping signal and BB on both sides, the safe
+        // agent must score exactly like plain BB.
+        let video = VideoModel::envivio();
+        let cfg = AbrConfig::default();
+        let mut agent = SafeAgent::new(
+            Quiet,
+            Monitor::new(5, f32::INFINITY, 3),
+            BufferFallback::default(),
+            BufferFallback::default(),
+        );
+        let run = run_session(&mut agent, &video, &cfg, &trace());
+        let bb = evaluate_policy(&video, &cfg, &[trace()], &mut BufferBased::default(), 0);
+        assert_eq!(run.qoe / run.chunks as f64, bb.mean_qoe);
+        assert_eq!(run.switch_index, None);
+        assert_eq!(run.raw.len(), run.chunks as usize);
+    }
+
+    #[test]
+    fn anchors_order_on_steady_links() {
+        let video = VideoModel::envivio();
+        let cfg = AbrConfig::default();
+        let a = anchors(&video, &cfg, &[trace()], 7);
+        assert!(a.bb_qoe > a.random_qoe);
+        assert_eq!(normalized(a.bb_qoe, &a), 1.0);
+        assert_eq!(normalized(a.random_qoe, &a), 0.0);
+    }
+}

@@ -1,29 +1,55 @@
 //! `osa-core` — the OSAP framework, the paper's contribution
 //! (DESIGN.md §1 row 8).
 //!
-//! # Contract
+//! Online safety assurance as described in §2 of the paper:
 //!
-//! This crate will implement online safety assurance as described in §2 of
-//! the paper:
+//! - [`signal`] — the [`UncertaintySignal`] trait, generic over the
+//!   observation type, plus U_S ([`NoveltySignal`], novelty detection
+//!   via [`osa_ocsvm`]);
+//! - [`ensemble`] — the stacked Pensieve replica ensemble (i = 5,
+//!   top-2 outliers discarded) with U_π ([`PolicyDisagreement`],
+//!   KL-to-mean) and U_V ([`ValueDisagreement`], value
+//!   distance-to-mean); inference is one grouped GEMM per layer across
+//!   all replicas (`osa_nn::stacked`), never five sequential forwards;
+//! - [`monitor`] — k-window variance smoothing and
+//!   l-consecutive-exceedance thresholding (§2.5);
+//! - [`calibrate`] — (α, l) calibration against in-distribution traces;
+//! - [`safe_agent`] — the [`SafeAgent`] wrapper: learned policy while
+//!   quiet, Buffer-Based once tripped, no reverse switching;
+//! - [`eval`] — session runs with signal time series, and the
+//!   normalized 0 = Random / 1 = BB scoring (§3.3) shared by every
+//!   figure binary.
 //!
-//! - an `UncertaintySignal<O>` trait generic over the observation type, so
-//!   the same machinery guards both the ABR and congestion-control domains;
-//! - the three concrete signals: U_S (novelty detection via
-//!   [`osa_ocsvm`]), U_π (agent-ensemble KL-divergence-to-mean), and U_V
-//!   (value-ensemble distance-to-mean), the ensembles sized i=5 with the
-//!   top-2 outliers discarded (§3.1);
-//! - k-window variance smoothing and l-consecutive-exceedance thresholding
-//!   (§2.5), plus calibration of (α, l) to match the novelty detector's
-//!   in-distribution QoE;
-//! - a `SafeAgent<O>` wrapper that runs the learned policy while the signal
-//!   is quiet and defaults to the Buffer-Based policy when it trips;
-//! - normalized scoring (0 = Random's QoE, 1 = BB's QoE, §3.3) used by
-//!   every figure binary.
+//! # Determinism
+//!
+//! Signal values, switch decisions, and calibration are bit-identical
+//! at any `osa-runtime` worker count: the stacked forwards ride the
+//! deterministic grouped GEMM, and every reduction in this crate
+//! (variance rings, KL sums, outlier discard) runs in a fixed order —
+//! pinned by `tests/determinism_pool.rs` across pools {1, 2, 4, 8}.
 #![forbid(unsafe_code)]
 
-/// Marks the crate as scaffolded but not yet implemented; removed once the
-/// uncertainty signals land.
-pub const IMPLEMENTED: bool = false;
+pub mod calibrate;
+pub mod ensemble;
+pub mod eval;
+pub mod monitor;
+pub mod safe_agent;
+pub mod signal;
+
+pub use calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
+pub use ensemble::{
+    shared, PensieveEnsemble, PolicyDisagreement, SharedEnsemble, ValueDisagreement,
+    ENSEMBLE_FORMAT_VERSION,
+};
+pub use eval::{
+    anchors, evaluate_safe_agent, normalized, run_session, Anchors, SafeScore, SessionRun,
+};
+pub use monitor::{Monitor, DEFAULT_K};
+pub use safe_agent::{
+    abr_safe_agent, AbrSafeAgent, BufferFallback, EnsemblePolicy, SafeAgent, SafetyPolicy,
+    BUFFER_COL,
+};
+pub use signal::{NoveltySignal, NullSignal, UncertaintySignal};
 
 /// Ensemble size the paper uses for U_π and U_V (§3.1).
 pub const ENSEMBLE_SIZE: usize = 5;
@@ -34,10 +60,26 @@ pub const ENSEMBLE_KEEP: usize = 3;
 /// Consecutive threshold exceedances required before defaulting (§3.1).
 pub const DEFAULT_L: usize = 3;
 
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn scaffold_compiles() {
-        assert!(std::hint::black_box(super::ENSEMBLE_KEEP) <= super::ENSEMBLE_SIZE);
-    }
+/// One-stop import for downstream crates, examples, and tests.
+pub mod prelude {
+    pub use crate::calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
+    pub use crate::ensemble::{
+        shared, PensieveEnsemble, PolicyDisagreement, SharedEnsemble, ValueDisagreement,
+        ENSEMBLE_FORMAT_VERSION,
+    };
+    pub use crate::eval::{
+        anchors, evaluate_safe_agent, normalized, run_session, Anchors, SafeScore, SessionRun,
+    };
+    pub use crate::monitor::{Monitor, DEFAULT_K};
+    pub use crate::safe_agent::{
+        abr_safe_agent, AbrSafeAgent, BufferFallback, EnsemblePolicy, SafeAgent, SafetyPolicy,
+        BUFFER_COL,
+    };
+    pub use crate::signal::{NoveltySignal, NullSignal, UncertaintySignal};
+    pub use crate::{DEFAULT_L, ENSEMBLE_KEEP, ENSEMBLE_SIZE};
 }
+
+const _: () = assert!(
+    ENSEMBLE_KEEP <= ENSEMBLE_SIZE && ENSEMBLE_SIZE - ENSEMBLE_KEEP == 2,
+    "the paper's i = 5 / keep = 3 trimmed configuration"
+);

@@ -1,0 +1,230 @@
+//! k-window variance smoothing and l-consecutive-exceedance
+//! thresholding (§2.5).
+//!
+//! Raw signal values are noisy; the paper smooths them by monitoring the
+//! *variance of the last k values* and only declares uncertainty when
+//! that variance exceeds a calibrated threshold α for l consecutive
+//! decisions. Once tripped, a monitor stays tripped — the paper's
+//! SafeAgent defaults to the safe policy for the rest of the session
+//! (no reverse switching).
+//!
+//! Determinism: the variance is summed in chronological order over the
+//! ring, so a monitor's state is a pure function of the raw value
+//! sequence — bit-identical at any pool width by construction.
+
+/// Default window length k for the signal variance.
+pub const DEFAULT_K: usize = 5;
+
+/// Rolling variance of the last k raw values plus the l-consecutive
+/// trip counter.
+#[derive(Clone, Debug)]
+pub struct Monitor {
+    k: usize,
+    alpha: f32,
+    l: usize,
+    /// Anchor for the variance: `None` → the window's own sample mean
+    /// (pure instability detection); `Some(μ₀)` → the calibrated
+    /// in-distribution signal level. Anchoring matters: a sustained
+    /// shift can hold the signal at a *constant* elevated value (U_π
+    /// saturates like this out of distribution), and the sample-mean
+    /// variance of a constant window is 0 — anchored at μ₀ the same
+    /// window reads `(v − μ₀)²`.
+    anchor: Option<f32>,
+    ring: Vec<f32>,
+    len: usize,
+    pos: usize,
+    consecutive: usize,
+    tripped_at: Option<usize>,
+    decisions: usize,
+    variance: f32,
+}
+
+impl Monitor {
+    /// Panics if `k == 0` or `l == 0`.
+    pub fn new(k: usize, alpha: f32, l: usize) -> Monitor {
+        assert!(k >= 1, "variance window k must be >= 1");
+        assert!(l >= 1, "consecutive exceedances l must be >= 1");
+        Monitor {
+            k,
+            alpha,
+            l,
+            anchor: None,
+            ring: vec![0.0; k],
+            len: 0,
+            pos: 0,
+            consecutive: 0,
+            tripped_at: None,
+            decisions: 0,
+            variance: 0.0,
+        }
+    }
+
+    /// Replace the threshold (used once by calibration); resets nothing
+    /// else, so call [`Monitor::reset`] afterwards.
+    pub fn set_alpha(&mut self, alpha: f32) {
+        self.alpha = alpha;
+    }
+
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Anchor the variance at the calibrated in-distribution level
+    /// (used once by calibration); `None` restores sample-mean variance.
+    pub fn set_anchor(&mut self, anchor: Option<f32>) {
+        self.anchor = anchor;
+    }
+
+    pub fn anchor(&self) -> Option<f32> {
+        self.anchor
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Forget all rolling state (session boundary); keeps (k, α, l).
+    pub fn reset(&mut self) {
+        self.ring.fill(0.0);
+        self.len = 0;
+        self.pos = 0;
+        self.consecutive = 0;
+        self.tripped_at = None;
+        self.decisions = 0;
+        self.variance = 0.0;
+    }
+
+    /// Feed one raw signal value; returns the tripped state after this
+    /// decision. Exceedances only count once the window is full.
+    pub fn update(&mut self, raw: f32) -> bool {
+        let index = self.decisions;
+        self.decisions += 1;
+        if self.tripped_at.is_some() {
+            return true;
+        }
+        self.ring[self.pos] = raw;
+        self.pos = (self.pos + 1) % self.k;
+        if self.len < self.k {
+            self.len += 1;
+        }
+        if self.len < self.k {
+            return false;
+        }
+        self.variance = self.window_variance();
+        if self.variance > self.alpha {
+            self.consecutive += 1;
+            if self.consecutive >= self.l {
+                self.tripped_at = Some(index);
+            }
+        } else {
+            self.consecutive = 0;
+        }
+        self.tripped_at.is_some()
+    }
+
+    /// Variance of the full ring about the anchor (or the window's own
+    /// sample mean when unanchored), summed oldest-first so the ring
+    /// phase never changes the bits.
+    fn window_variance(&self) -> f32 {
+        let n = self.k as f32;
+        let mean = match self.anchor {
+            Some(mu) => mu,
+            None => {
+                let mut sum = 0.0f32;
+                for i in 0..self.k {
+                    sum += self.ring[(self.pos + i) % self.k];
+                }
+                sum / n
+            }
+        };
+        let mut var = 0.0f32;
+        for i in 0..self.k {
+            let d = self.ring[(self.pos + i) % self.k] - mean;
+            var += d * d;
+        }
+        var / n
+    }
+
+    /// The smoothed value compared against α at the last update (0 until
+    /// the window fills).
+    pub fn variance(&self) -> f32 {
+        self.variance
+    }
+
+    pub fn tripped(&self) -> bool {
+        self.tripped_at.is_some()
+    }
+
+    /// Decision index (0-based) at which the monitor tripped.
+    pub fn tripped_at(&self) -> Option<usize> {
+        self.tripped_at
+    }
+
+    /// Updates consumed so far.
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_only_after_l_consecutive_exceedances() {
+        // A single spike stays inside the k = 3 window for exactly 3
+        // updates, so l = 4 separates "one transient" from "sustained".
+        let mut m = Monitor::new(3, 0.1, 4);
+        // Constant values: variance 0, never trips.
+        for _ in 0..5 {
+            assert!(!m.update(1.0));
+        }
+        // One spike → 3 consecutive exceedances while it traverses the
+        // window, then calm: the counter must reset without tripping.
+        assert!(!m.update(5.0));
+        assert_eq!(m.consecutive, 1);
+        for _ in 0..2 {
+            assert!(!m.update(1.0));
+        }
+        assert_eq!(m.consecutive, 3);
+        assert!(!m.update(1.0));
+        assert_eq!(m.consecutive, 0);
+        assert!(!m.tripped());
+        // Sustained noise keeps the variance up for l = 4 consecutive
+        // decisions → trip, and stay tripped.
+        m.update(9.0);
+        m.update(1.0);
+        m.update(9.0);
+        let tripped = m.update(1.0);
+        assert!(tripped);
+        let at = m.tripped_at().unwrap();
+        assert!(m.update(1.0));
+        assert_eq!(m.tripped_at(), Some(at), "trip index is sticky");
+    }
+
+    #[test]
+    fn variance_matches_direct_computation() {
+        let mut m = Monitor::new(4, f32::INFINITY, 1);
+        let vals = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for &v in &vals {
+            m.update(v);
+        }
+        // Last 4 values: 5, 5, 7, 9 → mean 6.5, var (2.25+2.25+.25+6.25)/4.
+        assert!((m.variance() - 11.0 / 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_clears_trip_state() {
+        let mut m = Monitor::new(2, 0.0, 1);
+        m.update(0.0);
+        m.update(10.0);
+        assert!(m.tripped());
+        m.reset();
+        assert!(!m.tripped());
+        assert_eq!(m.decisions(), 0);
+    }
+}

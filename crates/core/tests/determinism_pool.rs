@@ -1,0 +1,136 @@
+//! Bit-identity of the whole safety layer across worker-pool widths.
+//!
+//! The OSAP contract is that deployment behavior is a pure function of
+//! the inputs — never of the thread budget. These tests run the same
+//! workloads under pools of 1, 2, 4, and 8 workers (via
+//! `osa_runtime::with_pool`, overriding `OSA_THREADS`) and demand the
+//! exact bits back every time: ensemble inference (the stacked batched
+//! GEMM fans out over the pool), each signal's raw/variance time
+//! series, and the SafeAgent's switch decisions.
+
+use osa_abr::prelude::*;
+use osa_core::prelude::*;
+use osa_runtime::{with_pool, ThreadPool};
+use osa_trace::prelude::*;
+
+const ARTIFACT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../artifacts/pensieve_ensemble_norway.json"
+);
+
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn artifact_text() -> String {
+    std::fs::read_to_string(ARTIFACT)
+        .expect("missing artifact — run `cargo run --release --example osap_ensemble_train`")
+}
+
+/// Fresh ensemble per invocation: the scratch caches inside a shared
+/// ensemble carry across calls, which would make later pool widths see
+/// different warm-up state than the first.
+fn load_shared(text: &str) -> SharedEnsemble {
+    shared(PensieveEnsemble::from_json(text).expect("artifact parses"))
+}
+
+/// Run `f` under each pool width and assert every width reproduces the
+/// first width's bits.
+fn assert_pool_invariant<T: PartialEq + std::fmt::Debug>(label: &str, f: impl Fn() -> T) {
+    let mut reference: Option<(usize, T)> = None;
+    for width in POOL_WIDTHS {
+        let pool = ThreadPool::new(width);
+        let got = with_pool(&pool, &f);
+        match &reference {
+            None => reference = Some((width, got)),
+            Some((w0, want)) => {
+                assert_eq!(
+                    &got, want,
+                    "{label}: pool width {width} diverged from width {w0}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ensemble_inference_bits_are_pool_invariant() {
+    let text = artifact_text();
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    assert_pool_invariant("stacked policy/value forward", || {
+        // Drive real observations through the ensemble via a session,
+        // then capture the last decision's full probability tensor.
+        let ens = load_shared(&text);
+        let mut agent = abr_safe_agent(
+            ens.clone(),
+            NullSignal,
+            Monitor::new(DEFAULT_K, f32::INFINITY, DEFAULT_L),
+        );
+        let run = run_session(&mut agent, &video, &cfg, &split.test[0]);
+        let mut e = ens.borrow_mut();
+        let obs = vec![0.25f32; osa_abr::OBS_DIM];
+        e.policy_eval(&obs);
+        let mut bits: Vec<u32> = e.mean_probs().iter().map(|p| p.to_bits()).collect();
+        bits.extend(e.replica_probs().data().iter().map(|p| p.to_bits()));
+        bits.push(e.value_disagreement(&obs).to_bits());
+        (run.qoe.to_bits(), run.chunks, bits)
+    });
+}
+
+#[test]
+fn signal_series_and_switches_are_pool_invariant() {
+    let text = artifact_text();
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    let shifted = Dataset::Belgium.generate(1, 400, 77).pop().unwrap();
+
+    // U_π and U_V over one in-distribution and one shifted session;
+    // calibration runs too, so α itself must be pool-invariant.
+    assert_pool_invariant("U_pi/U_V series + switch indices", || {
+        type SessionBits = (u32, Vec<u32>, Vec<u32>, Option<usize>);
+        let ens = load_shared(&text);
+        let mut out: Vec<SessionBits> = Vec::new();
+        let mut u_pi = abr_safe_agent(
+            ens.clone(),
+            PolicyDisagreement::new(ens.clone()),
+            Monitor::new(DEFAULT_K, f32::INFINITY, DEFAULT_L),
+        );
+        let mut u_v = abr_safe_agent(
+            ens.clone(),
+            ValueDisagreement::new(ens.clone()),
+            Monitor::new(DEFAULT_K, f32::INFINITY, DEFAULT_L),
+        );
+        let cal_pi = calibrate(
+            &mut u_pi,
+            &video,
+            &cfg,
+            &split.validation[..4],
+            DEFAULT_MARGIN,
+        );
+        let cal_v = calibrate(
+            &mut u_v,
+            &video,
+            &cfg,
+            &split.validation[..4],
+            DEFAULT_MARGIN,
+        );
+        for trace in [&split.test[0], &shifted] {
+            let run = run_session(&mut u_pi, &video, &cfg, trace);
+            out.push((
+                cal_pi.alpha.to_bits(),
+                run.raw.iter().map(|v| v.to_bits()).collect(),
+                run.variance.iter().map(|v| v.to_bits()).collect(),
+                run.switch_index,
+            ));
+            let run = run_session(&mut u_v, &video, &cfg, trace);
+            out.push((
+                cal_v.alpha.to_bits(),
+                run.raw.iter().map(|v| v.to_bits()).collect(),
+                run.variance.iter().map(|v| v.to_bits()).collect(),
+                run.switch_index,
+            ));
+        }
+        out
+    });
+}

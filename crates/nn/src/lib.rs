@@ -26,6 +26,8 @@
 //!   allocation-free `*_ws` training path;
 //! - [`serialize`] — versioned JSON persistence ([`NetSpec`]) with exact
 //!   round-tripping of weights;
+//! - [`stacked`] — ensemble inference as one grouped GEMM per layer
+//!   ([`StackedNet`]), backing the OSAP uncertainty signals;
 //! - [`rng`] — seeded xoshiro256\*\* PRNG shared by the whole workspace;
 //! - [`json`] — minimal JSON codec backing [`serialize`].
 //!
@@ -66,6 +68,7 @@ pub mod net;
 pub mod optim;
 pub mod rng;
 pub mod serialize;
+pub mod stacked;
 pub mod tensor;
 pub mod workspace;
 
@@ -77,6 +80,7 @@ pub use net::Sequential;
 pub use optim::{Adam, Optimizer, RmsProp, Sgd};
 pub use rng::Rng;
 pub use serialize::{LayerSpec, LoadError, NetSpec};
+pub use stacked::{StackError, StackedNet};
 pub use tensor::{Act, Tensor};
 pub use workspace::Workspace;
 
@@ -91,6 +95,7 @@ pub mod prelude {
     pub use crate::optim::{Adam, Optimizer, RmsProp, Sgd};
     pub use crate::rng::Rng;
     pub use crate::serialize::{LayerSpec, LoadError, NetSpec};
+    pub use crate::stacked::{StackError, StackedNet};
     pub use crate::tensor::{Act, Tensor};
     pub use crate::workspace::Workspace;
 }

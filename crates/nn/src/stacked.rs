@@ -1,0 +1,324 @@
+//! [`StackedNet`]: batched inference across an ensemble of identical
+//! networks as one grouped GEMM per layer.
+//!
+//! The OSAP uncertainty signals (`osa-core`) need the outputs of all
+//! `R = 5` ensemble replicas for *every* decision. Running five
+//! `Sequential::forward_ws` passes costs five dispatches, five workspace
+//! round-trips and five strided weight walks per layer; a `StackedNet`
+//! instead stores the replicas' weights contiguously stacked and computes
+//! each layer for all replicas in **one** kernel dispatch — the
+//! "single batched GEMM across the replicas" design from ROADMAP item 1,
+//! and the building block for session-major batched serving (item 2).
+//!
+//! # Layout
+//!
+//! Inputs are *replica-major*: a batch of `s` observation rows becomes an
+//! `(R·s × in_dim)` matrix whose rows `[r·s, (r+1)·s)` belong to replica
+//! `r` (every replica sees the same `s` rows). Each layer holds one
+//! `(R·in × out)` weight tensor — replica `r`'s dense block is rows
+//! `[r·in, (r+1)·in)` — and an `(R × out)` bias matrix. The grouped
+//! kernel walks the stacked output rows exactly like
+//! [`crate::tensor::Tensor::matmul_into`] walks a plain GEMM, routing
+//! each replica's row run to its weight block, so the whole ensemble
+//! forward is one `par_rows` dispatch per layer.
+//!
+//! # Lowering
+//!
+//! Construction lowers every supported layer to a dense equivalent:
+//!
+//! - `Dense` is taken as-is — the stacked forward reproduces the
+//!   replica's own forward **bit-for-bit** (same [`gemm_rows`] kernel,
+//!   same bias/activation epilogue);
+//! - `Conv1d` is scattered into its equivalent `(in_dim × out_dim)`
+//!   matrix (a convolution is a linear map). The replica's `Conv1d`
+//!   seeds its accumulator with the bias while the dense epilogue adds
+//!   the bias after the sum, so conv-lowered layers match the replica
+//!   forward to rounding (~1e-6 relative), not bit-for-bit;
+//! - `Branches` becomes the block-diagonal of its lowered parts (the
+//!   parts must share one activation, which Pensieve's towers do).
+//!
+//! The determinism contract is carried by the stacked path itself: row
+//! arithmetic depends only on that row's replica and input, never on the
+//! batch size, the run split, or the worker count — pinned by
+//! `tests/stacked.rs` across pools {1, 2, 4, 8} and batch regroupings.
+
+use crate::net::Sequential;
+use crate::serialize::{LayerSpec, NetSpec};
+use crate::tensor::{gemm_rows, par_rows, Act, Tensor};
+use crate::workspace::Workspace;
+
+/// Error constructing a [`StackedNet`].
+#[derive(Debug)]
+pub enum StackError {
+    /// No replicas were supplied.
+    Empty,
+    /// A replica's architecture disagrees with replica 0's.
+    Mismatch(String),
+    /// A layer kind the lowering does not support (standalone `ReLU` /
+    /// `Softmax`; use fused activations and apply softmax downstream).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for StackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackError::Empty => write!(f, "stacked net needs at least one replica"),
+            StackError::Mismatch(msg) => write!(f, "replica architecture mismatch: {msg}"),
+            StackError::Unsupported(msg) => write!(f, "unsupported layer for stacking: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// One lowered layer: every replica's dense-equivalent weights stacked
+/// row-wise, plus per-replica bias rows and the shared activation.
+struct StackedLayer {
+    in_dim: usize,
+    out_dim: usize,
+    /// `(replicas·in_dim) × out_dim`; replica `r` owns rows
+    /// `[r·in_dim, (r+1)·in_dim)`.
+    w: Tensor,
+    /// `replicas × out_dim`.
+    b: Tensor,
+    act: Act,
+}
+
+/// An ensemble of `R` identical-architecture feed-forward networks
+/// evaluated as one grouped GEMM per layer. See the module docs.
+pub struct StackedNet {
+    replicas: usize,
+    layers: Vec<StackedLayer>,
+}
+
+/// A layer lowered to dense form: `(in × out)` weights, `1 × out` bias.
+struct Lowered {
+    w: Tensor,
+    b: Tensor,
+    act: Act,
+}
+
+/// Lower one serialized layer to its dense equivalent.
+fn lower(spec: &LayerSpec) -> Result<Lowered, StackError> {
+    match spec {
+        LayerSpec::Dense { w, b, act } => Ok(Lowered {
+            w: w.clone(),
+            b: b.clone(),
+            act: *act,
+        }),
+        LayerSpec::Conv1d {
+            in_channels,
+            length,
+            out_channels,
+            kernel,
+            w,
+            b,
+            act,
+        } => {
+            let (ic_n, len, oc_n, ker) = (*in_channels, *length, *out_channels, *kernel);
+            let out_len = len - ker + 1;
+            let (in_dim, out_dim) = (ic_n * len, oc_n * out_len);
+            let mut dw = Tensor::zeros(in_dim, out_dim);
+            let mut db = Tensor::zeros(1, out_dim);
+            for oc in 0..oc_n {
+                for t in 0..out_len {
+                    let col = oc * out_len + t;
+                    db.set(0, col, b.get(0, oc));
+                    for ic in 0..ic_n {
+                        for kk in 0..ker {
+                            dw.set(ic * len + t + kk, col, w.get(oc, ic * ker + kk));
+                        }
+                    }
+                }
+            }
+            Ok(Lowered {
+                w: dw,
+                b: db,
+                act: *act,
+            })
+        }
+        LayerSpec::Branches { parts } => {
+            let lowered = parts.iter().map(lower).collect::<Result<Vec<_>, _>>()?;
+            let act = lowered[0].act;
+            if lowered.iter().any(|p| p.act != act) {
+                return Err(StackError::Unsupported(
+                    "branches parts with differing activations".into(),
+                ));
+            }
+            let in_dim: usize = lowered.iter().map(|p| p.w.rows()).sum();
+            let out_dim: usize = lowered.iter().map(|p| p.w.cols()).sum();
+            let mut dw = Tensor::zeros(in_dim, out_dim);
+            let mut db = Tensor::zeros(1, out_dim);
+            let (mut ro, mut co) = (0, 0);
+            for p in &lowered {
+                for r in 0..p.w.rows() {
+                    for c in 0..p.w.cols() {
+                        dw.set(ro + r, co + c, p.w.get(r, c));
+                    }
+                }
+                for c in 0..p.b.cols() {
+                    db.set(0, co + c, p.b.get(0, c));
+                }
+                ro += p.w.rows();
+                co += p.w.cols();
+            }
+            Ok(Lowered { w: dw, b: db, act })
+        }
+        LayerSpec::ReLU => Err(StackError::Unsupported(
+            "standalone ReLU layer (use a fused Dense/Conv1d activation)".into(),
+        )),
+        LayerSpec::Softmax => Err(StackError::Unsupported(
+            "softmax layer (stack logits and apply softmax downstream)".into(),
+        )),
+    }
+}
+
+impl StackedNet {
+    /// Stack replicas given by their serialized specs. All replicas must
+    /// share one architecture (layer count, geometry, activations).
+    pub fn from_specs(specs: &[NetSpec]) -> Result<StackedNet, StackError> {
+        if specs.is_empty() {
+            return Err(StackError::Empty);
+        }
+        let replicas = specs.len();
+        let depth = specs[0].layers.len();
+        for (r, s) in specs.iter().enumerate() {
+            if s.layers.len() != depth {
+                return Err(StackError::Mismatch(format!(
+                    "replica {r} has {} layers, replica 0 has {depth}",
+                    s.layers.len()
+                )));
+            }
+        }
+        let mut layers = Vec::with_capacity(depth);
+        for li in 0..depth {
+            let lowered = specs
+                .iter()
+                .map(|s| lower(&s.layers[li]))
+                .collect::<Result<Vec<_>, _>>()?;
+            let (in_dim, out_dim, act) = (lowered[0].w.rows(), lowered[0].w.cols(), lowered[0].act);
+            for (r, p) in lowered.iter().enumerate() {
+                if p.w.rows() != in_dim || p.w.cols() != out_dim || p.act != act {
+                    return Err(StackError::Mismatch(format!(
+                        "layer {li}: replica {r} is {}x{} ({:?}), replica 0 is \
+                         {in_dim}x{out_dim} ({act:?})",
+                        p.w.rows(),
+                        p.w.cols(),
+                        p.act
+                    )));
+                }
+            }
+            let mut w = Tensor::zeros(replicas * in_dim, out_dim);
+            let mut b = Tensor::zeros(replicas, out_dim);
+            for (r, p) in lowered.iter().enumerate() {
+                for row in 0..in_dim {
+                    w.row_mut(r * in_dim + row).copy_from_slice(p.w.row(row));
+                }
+                b.row_mut(r).copy_from_slice(p.b.row(0));
+            }
+            layers.push(StackedLayer {
+                in_dim,
+                out_dim,
+                w,
+                b,
+                act,
+            });
+        }
+        // Widths must chain.
+        for pair in layers.windows(2) {
+            if pair[0].out_dim != pair[1].in_dim {
+                return Err(StackError::Mismatch(format!(
+                    "layer widths do not chain: {} -> {}",
+                    pair[0].out_dim, pair[1].in_dim
+                )));
+            }
+        }
+        Ok(StackedNet { replicas, layers })
+    }
+
+    /// Stack live networks (snapshot of their current weights).
+    pub fn from_nets(nets: &[&Sequential]) -> Result<StackedNet, StackError> {
+        let specs: Vec<NetSpec> = nets.iter().map(|n| n.to_spec()).collect();
+        StackedNet::from_specs(&specs)
+    }
+
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty net").out_dim
+    }
+
+    /// Forward `x` (`batch × in_dim`) through every replica:
+    /// `out` becomes `(replicas·batch) × out_dim`, replica-major (see the
+    /// module docs). Allocation-free once `ws` and `out` are warm.
+    pub fn forward_into(&self, x: &Tensor, ws: &mut Workspace, out: &mut Tensor) {
+        assert_eq!(x.cols(), self.in_dim(), "stacked input width mismatch");
+        let (r, batch) = (self.replicas, x.rows());
+        let mut cur = ws.take(r * batch, self.in_dim());
+        for rep in 0..r {
+            for s in 0..batch {
+                cur.row_mut(rep * batch + s).copy_from_slice(x.row(s));
+            }
+        }
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            if li == last {
+                layer.forward(batch, &cur, out);
+            } else {
+                let mut next = ws.take(r * batch, layer.out_dim);
+                layer.forward(batch, &cur, &mut next);
+                ws.recycle(std::mem::replace(&mut cur, next));
+            }
+        }
+        ws.recycle(cur);
+    }
+}
+
+impl StackedLayer {
+    /// `out = act(x · W_rep + b_rep)` for every stacked row, in one
+    /// grouped dispatch; `x` is `(R·batch) × in_dim` replica-major.
+    fn forward(&self, batch: usize, x: &Tensor, out: &mut Tensor) {
+        let r = self.w.rows() / self.in_dim;
+        debug_assert_eq!(x.rows(), r * batch);
+        let (k, n) = (self.in_dim, self.out_dim);
+        let m = r * batch;
+        out.resize_shape(m, n);
+        let (a, w) = (x.data(), self.w.data());
+        // One dispatch over all stacked rows: each lane's contiguous row
+        // range is split at replica boundaries and each run multiplies
+        // against its replica's weight block. Per-row arithmetic is the
+        // plain `gemm_rows` kernel, so the result is bit-identical for
+        // any worker count and any batch regrouping.
+        par_rows(out.data_mut(), m, n, m * k * n, |rows, o| {
+            let mut start = rows.start;
+            while start < rows.end {
+                let rep = start / batch;
+                let run_end = rows.end.min((rep + 1) * batch);
+                let off = (start - rows.start) * n;
+                gemm_rows(
+                    start..run_end,
+                    k,
+                    n,
+                    a,
+                    &w[rep * k * n..(rep + 1) * k * n],
+                    &mut o[off..off + (run_end - start) * n],
+                );
+                start = run_end;
+            }
+        });
+        // Bias + activation epilogue, per replica row — the same
+        // sum-then-bias order as `matmul_bias_act_into`.
+        for (i, orow) in out.data_mut().chunks_exact_mut(n).enumerate() {
+            let brow = self.b.row(i / batch);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = self.act.apply(*o + bv);
+            }
+        }
+    }
+}

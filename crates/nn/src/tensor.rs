@@ -528,7 +528,7 @@ pub(crate) fn par_rows(
 /// shard the row lands in, so results stay bit-identical across worker
 /// counts. (With accumulators starting at `+0.0` and finite `b`, the
 /// skip is also bit-identical to performing the `±0.0` multiply-adds.)
-fn gemm_rows(
+pub(crate) fn gemm_rows(
     rows: std::ops::Range<usize>,
     k: usize,
     n: usize,

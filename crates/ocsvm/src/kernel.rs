@@ -1,0 +1,38 @@
+//! The RBF (Gaussian) kernel behind the one-class SVM.
+//!
+//! `K(a, b) = exp(-γ‖a − b‖²)` — symmetric, bounded in (0, 1], and
+//! positive semi-definite for γ > 0 (Mercer), which the property tests
+//! spot-check on random Gram matrices. The squared distance accumulates
+//! in ascending index order, so evaluations are deterministic and
+//! `K(a, b)` is bit-identical to `K(b, a)` (each term `(aᵢ−bᵢ)²` equals
+//! `(bᵢ−aᵢ)²` exactly in IEEE arithmetic).
+
+/// `exp(-gamma · ‖a − b‖²)`. Panics if the slices differ in length.
+#[inline]
+pub fn rbf(gamma: f32, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "rbf kernel dimension mismatch");
+    let mut d2 = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = x - y;
+        d2 += d * d;
+    }
+    (-gamma * d2).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_points_score_one() {
+        let x = [0.3, -1.2, 4.0];
+        assert_eq!(rbf(0.7, &x, &x), 1.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // ‖a-b‖² = 1 + 4 = 5; K = exp(-0.5 * 5).
+        let k = rbf(0.5, &[1.0, 0.0], &[0.0, 2.0]);
+        assert!((k - (-2.5f32).exp()).abs() < 1e-7);
+    }
+}

@@ -1,33 +1,43 @@
 //! `osa-ocsvm` — novelty detection for the U_S signal (DESIGN.md §1 row 7).
 //!
-//! # Contract
+//! The paper's "classic ND method" (§2.4) built from scratch:
 //!
-//! This crate will provide the paper's "classic ND method" (§2.4) from
-//! scratch:
+//! - [`smo`] — the Schölkopf ν-parameterized one-class SVM dual, solved
+//!   by a working-set SMO specialized to the one-class problem
+//!   (substituting SciPy, DESIGN.md §2.4);
+//! - [`kernel`] — the RBF kernel;
+//! - [`features`] — the §3.1 feature pipeline: mean/std of the 10 most
+//!   recent throughput samples, windows of the k latest pairs;
+//! - [`detector`] — the [`NoveltyDetector`] trait with [`OcSvm`] plus the
+//!   [`KnnDetector`] / [`MahalanobisDetector`] ablations.
 //!
-//! - a one-class SVM in the Schölkopf formulation with an RBF kernel,
-//!   ν-parameterized, trained by a working-set SMO solver specialized to
-//!   the one-class dual (substituting SciPy, DESIGN.md §2.4);
-//! - the §3.1 feature pipeline: mean/std of the 10 most recent throughput
-//!   samples, windows of the k latest pairs;
-//! - ablation detectors sharing the same interface: kNN-distance and
-//!   Mahalanobis distance;
-//! - property-tested invariants (ν bounds the training outlier fraction,
-//!   kernel symmetry/PSD spot checks).
+//! Invariants (property-tested in `tests/properties.rs`): ν upper-bounds
+//! the training outlier fraction and lower-bounds the support-vector
+//! fraction; the kernel is symmetric and its Gram matrices are PSD; the
+//! solver's KKT residual falls below tolerance; fits are bit-identical
+//! across runs and pool widths.
 #![forbid(unsafe_code)]
 
-/// Marks the crate as scaffolded but not yet implemented; removed once the
-/// SMO solver lands.
-pub const IMPLEMENTED: bool = false;
+pub mod detector;
+pub mod features;
+pub mod kernel;
+pub mod smo;
 
-/// Number of recent throughput samples summarized by the §3.1 feature
-/// pipeline.
-pub const FEATURE_WINDOW: usize = 10;
+pub use detector::{
+    FitDiag, KnnDetector, MahalanobisDetector, NoveltyDetector, OcSvm, OcSvmConfig,
+};
+pub use features::{window_features, FeatureWindow, FEATURE_DIM, FEATURE_PAIRS, FEATURE_WINDOW};
+pub use kernel::rbf;
+pub use smo::{solve_one_class, SmoConfig, SmoResult};
 
-#[cfg(test)]
-mod tests {
-    #[test]
-    fn scaffold_compiles() {
-        assert_eq!(super::FEATURE_WINDOW, 10);
-    }
+/// One-stop import for downstream crates, examples, and tests.
+pub mod prelude {
+    pub use crate::detector::{
+        FitDiag, KnnDetector, MahalanobisDetector, NoveltyDetector, OcSvm, OcSvmConfig,
+    };
+    pub use crate::features::{
+        window_features, FeatureWindow, FEATURE_DIM, FEATURE_PAIRS, FEATURE_WINDOW,
+    };
+    pub use crate::kernel::rbf;
+    pub use crate::smo::{solve_one_class, SmoConfig, SmoResult};
 }

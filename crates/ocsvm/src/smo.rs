@@ -1,0 +1,242 @@
+//! Working-set SMO solver specialized to the Schölkopf one-class dual.
+//!
+//! The ν-parameterized one-class SVM (Schölkopf et al., 2001) solves
+//!
+//! ```text
+//! min_α  ½ Σᵢⱼ αᵢαⱼ K(xᵢ, xⱼ)   s.t.  0 ≤ αᵢ ≤ 1/(νn),  Σᵢ αᵢ = 1
+//! ```
+//!
+//! All labels are +1, so the usual two-class working-set machinery
+//! collapses: every step picks the *maximal violating pair*
+//! `i_up = argmin g over {αᵢ < C}`, `i_low = argmax g over {αᵢ > 0}`
+//! (where `g = Kα` is the dual gradient) and moves mass from `i_low` to
+//! `i_up` along the equality constraint, clipped to the box. The
+//! gradient is maintained incrementally from the two kernel rows the
+//! step touches, so memory stays O(n) — no Gram matrix is materialized,
+//! which is what lets the detector train on tens of thousands of §3.1
+//! windows.
+//!
+//! Accumulation runs in f64 and the point selection breaks ties toward
+//! the lowest index, so a fit is a pure function of its inputs —
+//! bit-identical across runs and (trivially, being serial) across pool
+//! widths.
+//!
+//! ν is both a box parameter and a guarantee: at the optimum the
+//! fraction of margin errors is ≤ ν ≤ the fraction of support vectors
+//! (pinned by `tests/properties.rs`).
+
+use crate::kernel::rbf;
+use osa_nn::tensor::Tensor;
+
+/// Convergence controls for [`solve_one_class`].
+#[derive(Clone, Copy, Debug)]
+pub struct SmoConfig {
+    /// Stop when the maximal KKT violation `g[i_low] − g[i_up]` drops
+    /// below this.
+    pub tol: f64,
+    /// Hard iteration cap (each iteration is one pair update).
+    pub max_iter: usize,
+}
+
+impl Default for SmoConfig {
+    fn default() -> Self {
+        SmoConfig {
+            tol: 1e-5,
+            max_iter: 200_000,
+        }
+    }
+}
+
+/// Solution of the one-class dual.
+#[derive(Clone, Debug)]
+pub struct SmoResult {
+    /// Dual coefficients, `Σ = 1`, each in `[0, 1/(νn)]`.
+    pub alphas: Vec<f64>,
+    /// Decision offset: `f(x) = Σᵢ αᵢ K(x, xᵢ) − ρ`, averaged over
+    /// margin support vectors.
+    pub rho: f64,
+    /// Pair updates performed.
+    pub iters: usize,
+    /// Final maximal KKT violation (`< tol` unless `max_iter` hit).
+    pub kkt_gap: f64,
+}
+
+/// Solve the one-class dual over the rows of `x` with an RBF kernel.
+///
+/// # Panics
+/// If `x` has no rows or `nu` is outside `(0, 1]`.
+pub fn solve_one_class(x: &Tensor, gamma: f32, nu: f64, cfg: &SmoConfig) -> SmoResult {
+    let n = x.rows();
+    assert!(n >= 1, "one-class SMO needs at least one sample");
+    assert!(nu > 0.0 && nu <= 1.0, "nu must be in (0, 1], got {nu}");
+    let c = 1.0 / (nu * n as f64);
+
+    // Feasible start: the first ⌊νn⌋ points at the box ceiling, the
+    // remainder of the unit mass on the next point.
+    let mut alphas = vec![0.0f64; n];
+    let nf = (nu * n as f64).floor() as usize;
+    let mut mass = 1.0f64;
+    for a in alphas.iter_mut().take(nf.min(n)) {
+        *a = c;
+        mass -= c;
+    }
+    if mass > 0.0 && nf < n {
+        alphas[nf] = mass;
+    }
+
+    // g = Kα, built from the initially non-zero coefficients.
+    let mut g = vec![0.0f64; n];
+    let mut row = vec![0.0f32; n];
+    for (j, &aj) in alphas.iter().enumerate() {
+        if aj > 0.0 {
+            kernel_row(x, gamma, j, &mut row);
+            for (gi, &k) in g.iter_mut().zip(&row) {
+                *gi += aj * k as f64;
+            }
+        }
+    }
+
+    let mut row_low = vec![0.0f32; n];
+    let mut iters = 0;
+    let mut kkt_gap = 0.0;
+    while iters < cfg.max_iter {
+        let (i_up, i_low) = match select_pair(&alphas, &g, c) {
+            Some(pair) => pair,
+            None => {
+                kkt_gap = 0.0;
+                break;
+            }
+        };
+        kkt_gap = g[i_low] - g[i_up];
+        if kkt_gap < cfg.tol {
+            break;
+        }
+        kernel_row(x, gamma, i_up, &mut row);
+        kernel_row(x, gamma, i_low, &mut row_low);
+        // Curvature along e_up − e_low; K_ii = 1 for RBF, so this is
+        // 2 − 2K(up, low), floored against degenerate duplicates.
+        let eta = (row[i_up] as f64 + row_low[i_low] as f64 - 2.0 * row[i_low] as f64).max(1e-12);
+        let delta = (kkt_gap / eta).min(c - alphas[i_up]).min(alphas[i_low]);
+        alphas[i_up] += delta;
+        alphas[i_low] -= delta;
+        for ((gi, &ku), &kl) in g.iter_mut().zip(&row).zip(&row_low) {
+            *gi += delta * (ku as f64 - kl as f64);
+        }
+        iters += 1;
+    }
+
+    SmoResult {
+        rho: estimate_rho(&alphas, &g, c),
+        alphas,
+        iters,
+        kkt_gap,
+    }
+}
+
+/// One kernel row `K(i, ·)` against every training sample.
+fn kernel_row(x: &Tensor, gamma: f32, i: usize, out: &mut [f32]) {
+    let xi = x.row(i);
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = rbf(gamma, xi, x.row(j));
+    }
+}
+
+/// Maximal violating pair: `i_up` minimizes `g` over the still-raisable
+/// set, `i_low` maximizes `g` over the still-lowerable set. Ties break
+/// toward the lowest index. `None` when either set is empty.
+fn select_pair(alphas: &[f64], g: &[f64], c: f64) -> Option<(usize, usize)> {
+    let mut i_up: Option<usize> = None;
+    let mut i_low: Option<usize> = None;
+    for i in 0..alphas.len() {
+        if alphas[i] < c && i_up.is_none_or(|b| g[i] < g[b]) {
+            i_up = Some(i);
+        }
+        if alphas[i] > 0.0 && i_low.is_none_or(|b| g[i] > g[b]) {
+            i_low = Some(i);
+        }
+    }
+    Some((i_up?, i_low?))
+}
+
+/// ρ from the KKT conditions: margin SVs (`0 < α < C`) satisfy
+/// `g_i = ρ` exactly at the optimum, so average `g` over them. With no
+/// margin SVs, ρ lies between the bound groups — take the midpoint.
+fn estimate_rho(alphas: &[f64], g: &[f64], c: f64) -> f64 {
+    let eps = c * 1e-8;
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (&a, &gi) in alphas.iter().zip(g) {
+        if a > eps && a < c - eps {
+            sum += gi;
+            count += 1;
+        }
+    }
+    if count > 0 {
+        return sum / count as f64;
+    }
+    let mut hi = f64::NEG_INFINITY; // max g over α at the ceiling
+    let mut lo = f64::INFINITY; // min g over α at the floor
+    for (&a, &gi) in alphas.iter().zip(g) {
+        if a >= c - eps {
+            hi = hi.max(gi);
+        } else if a <= eps {
+            lo = lo.min(gi);
+        }
+    }
+    match (hi.is_finite(), lo.is_finite()) {
+        (true, true) => 0.5 * (hi + lo),
+        (true, false) => hi,
+        (false, true) => lo,
+        (false, false) => g.iter().sum::<f64>() / g.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osa_nn::rng::Rng;
+
+    fn blob(n: usize, d: usize, seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut t = Tensor::zeros(n, d);
+        for v in t.data_mut() {
+            *v = rng.range_f32(-1.0, 1.0);
+        }
+        t
+    }
+
+    #[test]
+    fn alphas_stay_feasible_and_sum_to_one() {
+        let x = blob(60, 4, 3);
+        let r = solve_one_class(&x, 0.5, 0.2, &SmoConfig::default());
+        let c = 1.0 / (0.2 * 60.0);
+        let sum: f64 = r.alphas.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(r.alphas.iter().all(|&a| (-1e-12..=c + 1e-12).contains(&a)));
+        assert!(r.kkt_gap < 1e-5, "gap {}", r.kkt_gap);
+    }
+
+    #[test]
+    fn nu_one_fixes_every_alpha_at_the_ceiling() {
+        // ν = 1 ⇒ C = 1/n and Σα = 1 force α ≡ 1/n; the solver must
+        // recognize the fully-bounded point and stop immediately.
+        let x = blob(20, 3, 9);
+        let r = solve_one_class(&x, 1.0, 1.0, &SmoConfig::default());
+        for &a in &r.alphas {
+            assert!((a - 0.05).abs() < 1e-12);
+        }
+        assert_eq!(r.iters, 0);
+    }
+
+    #[test]
+    fn solving_twice_is_bit_identical() {
+        let x = blob(40, 5, 17);
+        let a = solve_one_class(&x, 0.8, 0.1, &SmoConfig::default());
+        let b = solve_one_class(&x, 0.8, 0.1, &SmoConfig::default());
+        assert_eq!(a.rho.to_bits(), b.rho.to_bits());
+        assert_eq!(a.iters, b.iters);
+        for (x1, x2) in a.alphas.iter().zip(&b.alphas) {
+            assert_eq!(x1.to_bits(), x2.to_bits());
+        }
+    }
+}

@@ -186,6 +186,12 @@ impl PensieveAgent {
         self.cfg
     }
 
+    /// The underlying actor-critic, read-only (e.g. for snapshotting
+    /// weights into a [`osa_nn::stacked::StackedNet`] ensemble).
+    pub fn actor_critic(&self) -> &ActorCritic {
+        &self.ac
+    }
+
     /// The underlying actor-critic (e.g. for custom rollout loops).
     pub fn actor_critic_mut(&mut self) -> &mut ActorCritic {
         &mut self.ac
