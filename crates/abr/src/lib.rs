@@ -63,7 +63,9 @@ pub mod prelude {
     pub use crate::env::AbrEnv;
     pub use crate::eval::{evaluate_policy, normalized_score, PolicyScore};
     pub use crate::policy::{AbrPolicy, BufferBased, RandomPolicy};
-    pub use crate::sim::{encode_obs, step_chunk, AbrConfig, ChunkOutcome, MultiSession};
+    pub use crate::sim::{
+        encode_obs, step_chunk, AbrConfig, ChunkOutcome, MultiSession, SessionCursor,
+    };
     pub use crate::video::{VideoModel, BITRATES_KBPS, CHUNK_COUNT};
     pub use crate::{HISTORY_LEN, NUM_BITRATES, OBS_DIM, RTT_MS};
 }

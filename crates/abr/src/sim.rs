@@ -178,6 +178,105 @@ pub fn encode_obs(
     out[2 * HISTORY_LEN + NUM_BITRATES + 2] = prev_level as f32 / (NUM_BITRATES - 1) as f32;
 }
 
+/// Scalar state of one streaming session, stepped against *borrowed*
+/// video/config/trace — the clone-free single-session counterpart of
+/// [`MultiSession`].
+///
+/// [`MultiSession`] clones its inputs once per *batch*; evaluation
+/// loops that spin up one session per trace (calibration sweeps,
+/// `osa_core::run_session`) used to pay a `VideoModel` + `Trace` clone
+/// per *session*. A cursor is a few plain scalars and two fixed history
+/// arrays, so per-session setup is allocation- and clone-free. Both
+/// paths share [`step_chunk`] and [`encode_obs`], which keeps them
+/// bit-equal by construction (pinned in this module's tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionCursor {
+    time_s: f64,
+    buffer_s: f64,
+    next_chunk: usize,
+    prev_level: usize,
+    tput_hist: [f32; HISTORY_LEN],
+    delay_hist: [f32; HISTORY_LEN],
+}
+
+impl SessionCursor {
+    /// A fresh session at trace time 0 with an empty buffer.
+    pub fn new() -> SessionCursor {
+        SessionCursor::default()
+    }
+
+    /// Back to the start-of-session state.
+    pub fn reset(&mut self) {
+        *self = SessionCursor::default();
+    }
+
+    /// True once every chunk of `video` has been downloaded.
+    pub fn done(&self, video: &VideoModel) -> bool {
+        self.next_chunk >= video.chunk_count()
+    }
+
+    /// Write this session's observation row (`out.len() == OBS_DIM`).
+    pub fn encode_obs(&self, video: &VideoModel, out: &mut [f32]) {
+        encode_obs(
+            out,
+            video,
+            &self.tput_hist,
+            &self.delay_hist,
+            self.buffer_s,
+            self.next_chunk,
+            self.prev_level,
+        );
+    }
+
+    /// Download the next chunk at `level`, folding the outcome into the
+    /// session state exactly like [`MultiSession::step_all`]'s apply
+    /// phase. Panics if the session is already [`done`](Self::done).
+    pub fn step(
+        &mut self,
+        video: &VideoModel,
+        cfg: &AbrConfig,
+        trace: &Trace,
+        level: usize,
+    ) -> ChunkOutcome {
+        assert!(!self.done(video), "session already finished");
+        let o = step_chunk(
+            video,
+            cfg,
+            trace,
+            self.time_s,
+            self.buffer_s,
+            self.next_chunk,
+            self.prev_level,
+            level,
+        );
+        self.time_s = o.new_time_s;
+        self.buffer_s = o.new_buffer_s;
+        self.prev_level = level;
+        self.next_chunk += 1;
+        self.tput_hist.copy_within(1.., 0);
+        self.tput_hist[HISTORY_LEN - 1] = o.tput_mbps as f32;
+        self.delay_hist.copy_within(1.., 0);
+        self.delay_hist[HISTORY_LEN - 1] = o.delay_s as f32;
+        o
+    }
+
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    pub fn buffer_s(&self) -> f64 {
+        self.buffer_s
+    }
+
+    pub fn next_chunk(&self) -> usize {
+        self.next_chunk
+    }
+
+    pub fn prev_level(&self) -> usize {
+        self.prev_level
+    }
+}
+
 /// Struct-of-arrays batch of concurrent streaming sessions.
 ///
 /// Session `i` starts on trace `i mod traces.len()` at its beginning.
@@ -368,10 +467,21 @@ impl MultiSession {
     /// Write the `(n × OBS_DIM)` observation matrix into `out`, reusing
     /// its capacity (allocation-free once warmed up).
     pub fn fill_observations(&self, out: &mut Tensor) {
-        out.resize_shape(self.len(), OBS_DIM);
-        for i in 0..self.len() {
+        self.fill_observations_range(0, self.len(), out);
+    }
+
+    /// Write observations for the session range `first .. first + count`
+    /// into `out` (`count × OBS_DIM`, row `off` = session `first + off`),
+    /// reusing its capacity. This is the shard-sized fill the serving
+    /// engine batches its stacked forwards over; each row's bits depend
+    /// only on that session's state, never on the range bounds.
+    pub fn fill_observations_range(&self, first: usize, count: usize, out: &mut Tensor) {
+        assert!(first + count <= self.len(), "session range out of bounds");
+        out.resize_shape(count, OBS_DIM);
+        for off in 0..count {
+            let i = first + off;
             encode_obs(
-                out.row_mut(i),
+                out.row_mut(off),
                 &self.video,
                 &self.tput_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN],
                 &self.delay_hist[i * HISTORY_LEN..(i + 1) * HISTORY_LEN],
@@ -565,6 +675,33 @@ mod tests {
         assert_eq!(sim.next_chunk(0), 0);
         assert_eq!(sim.time_s(0), 0.0);
         assert_eq!(sim.buffer_s(0), 0.0);
+    }
+
+    #[test]
+    fn cursor_is_bit_equal_to_a_single_session_batch() {
+        let video = VideoModel::constant_bitrate();
+        let cfg = AbrConfig::default();
+        let mbps: Vec<f32> = (0..40).map(|t| 2.0 + (t as f32 * 0.9).sin()).collect();
+        let trace = Trace::new("wavy", 1.0, mbps);
+        let mut sim = MultiSession::new(video.clone(), cfg.clone(), vec![trace.clone()], 1, false);
+        let mut cur = SessionCursor::new();
+        let mut batch_obs = Tensor::zeros(1, OBS_DIM);
+        let mut cur_obs = [0.0f32; OBS_DIM];
+        let mut k = 0usize;
+        while !sim.all_done() {
+            sim.fill_observations(&mut batch_obs);
+            cur.encode_obs(&video, &mut cur_obs);
+            assert_eq!(batch_obs.row(0), &cur_obs[..], "obs diverged at chunk {k}");
+            let level = k % NUM_BITRATES; // exercise every level
+            let o = cur.step(&video, &cfg, &trace, level);
+            sim.step_all(&[level]);
+            assert_eq!(o, sim.outcomes()[0], "outcome diverged at chunk {k}");
+            assert_eq!(cur.time_s().to_bits(), sim.time_s(0).to_bits());
+            assert_eq!(cur.buffer_s().to_bits(), sim.buffer_s(0).to_bits());
+            k += 1;
+        }
+        assert!(cur.done(&video));
+        assert_eq!(k, CHUNK_COUNT_LOCAL);
     }
 
     const CHUNK_COUNT_LOCAL: usize = crate::video::CHUNK_COUNT;

@@ -22,7 +22,7 @@ use osa_abr::sim::AbrConfig;
 use osa_abr::video::VideoModel;
 use osa_trace::Trace;
 
-use crate::eval::run_session;
+use crate::eval::{run_session_into, SessionRun};
 use crate::safe_agent::{SafeAgent, SafetyPolicy};
 use crate::signal::UncertaintySignal;
 
@@ -73,8 +73,9 @@ where
     let mut raw_sum = 0.0f64;
     let mut raw_n = 0usize;
     let mut max_variance = 0.0f32;
+    let mut run = SessionRun::default();
     for t in traces {
-        let run = run_session(agent, video, cfg, t);
+        run_session_into(agent, video, cfg, t, &mut run);
         raw_sum += run.raw.iter().map(|&v| v as f64).sum::<f64>();
         raw_n += run.raw.len();
         for w in run.variance.windows(l) {
@@ -100,6 +101,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::run_session;
     use crate::monitor::Monitor;
     use crate::safe_agent::BufferFallback;
 

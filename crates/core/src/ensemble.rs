@@ -28,7 +28,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use osa_abr::{NUM_BITRATES, OBS_DIM};
-use osa_nn::json::{obj, Value};
+use osa_nn::json::{obj, JsonError, Value};
 use osa_nn::stacked::StackedNet;
 use osa_nn::tensor::Tensor;
 use osa_nn::workspace::Workspace;
@@ -108,6 +108,24 @@ impl PensieveEnsemble {
 
     pub fn keep(&self) -> usize {
         self.keep
+    }
+
+    /// The stacked actor towers, for batched serving paths
+    /// ([`crate::serve`]) that run their own forwards.
+    pub fn actor(&self) -> &StackedNet {
+        &self.actor
+    }
+
+    /// The stacked critic towers (see [`PensieveEnsemble::actor`]).
+    pub fn critic(&self) -> &StackedNet {
+        &self.critic
+    }
+
+    /// Consume the ensemble into its stacked (actor, critic) pair — the
+    /// serving engine owns the nets directly and drops the per-call
+    /// scratch this wrapper carries.
+    pub fn into_nets(self) -> (StackedNet, StackedNet) {
+        (self.actor, self.critic)
     }
 
     pub fn config(&self) -> PensieveConfig {
@@ -226,27 +244,40 @@ impl PensieveEnsemble {
 
     /// Mean of the `keep` smallest entries of `devs` (outlier discard).
     fn keep_mean(&mut self) -> f32 {
-        self.devs.sort_unstable_by(f32::total_cmp);
-        let kept = &self.devs[..self.keep];
-        kept.iter().sum::<f32>() / self.keep as f32
+        trimmed_mean(&mut self.devs, self.keep)
     }
 
     /// Serialize as `{format_version, replicas: [PensieveAgent docs]}`.
     /// This is the *source* representation — re-loading rebuilds the
     /// stacked nets from the replica weights, bit-exactly.
-    pub fn agents_to_json(agents: &[PensieveAgent]) -> String {
+    ///
+    /// A replica whose document fails to parse surfaces as the
+    /// workspace's typed [`JsonError`] (with the replica index prefixed
+    /// to the message) instead of panicking mid-save.
+    pub fn agents_to_json(agents: &[PensieveAgent]) -> Result<String, JsonError> {
         let docs: Vec<Value> = agents
             .iter()
-            .map(|a| Value::parse(&a.to_json()).expect("agent doc is valid JSON"))
-            .collect();
-        obj(vec![
+            .enumerate()
+            .map(|(r, a)| {
+                Value::parse(&a.to_json()).map_err(|e| JsonError {
+                    msg: format!("replica {r}: {}", e.msg),
+                    pos: e.pos,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(obj(vec![
             ("format_version", Value::Num(ENSEMBLE_FORMAT_VERSION as f64)),
             ("replicas", Value::Arr(docs)),
         ])
-        .to_json()
+        .to_json())
     }
 
     /// Load the replica agents saved by [`agents_to_json`].
+    ///
+    /// Never panics on a corrupt artifact: parse failures, schema
+    /// mismatches, and non-finite weight values (the lexer accepts
+    /// overflowing literals like `1e999` as ±∞, which JSON cannot
+    /// re-serialize) all come back as `Err`.
     ///
     /// [`agents_to_json`]: PensieveEnsemble::agents_to_json
     pub fn agents_from_json(text: &str) -> Result<Vec<PensieveAgent>, String> {
@@ -265,7 +296,8 @@ impl PensieveEnsemble {
         docs.iter()
             .enumerate()
             .map(|(r, d)| {
-                PensieveAgent::from_json(&d.to_json()).map_err(|e| format!("replica {r}: {e}"))
+                let doc = d.try_to_json().map_err(|e| format!("replica {r}: {e}"))?;
+                PensieveAgent::from_json(&doc).map_err(|e| format!("replica {r}: {e}"))
             })
             .collect()
     }
@@ -276,9 +308,19 @@ impl PensieveEnsemble {
     }
 }
 
+/// Mean of the `keep` smallest entries (the §3.1 outlier discard),
+/// sorting in place with `total_cmp` so the reduction order — and the
+/// bits — never depend on the caller. Shared with the batched serving
+/// path so fleet U_V is bit-equal to the per-session signal.
+pub(crate) fn trimmed_mean(devs: &mut [f32], keep: usize) -> f32 {
+    devs.sort_unstable_by(f32::total_cmp);
+    let kept = &devs[..keep];
+    kept.iter().sum::<f32>() / keep as f32
+}
+
 /// Row-wise max-subtracted softmax (the same math as
 /// `osa_mdp::ActorCritic::action_probs_batch_into`).
-fn softmax_row(logits: &[f32], probs: &mut [f32]) {
+pub(crate) fn softmax_row(logits: &[f32], probs: &mut [f32]) {
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0f32;
     for (p, &l) in probs.iter_mut().zip(logits) {
@@ -420,7 +462,7 @@ mod tests {
     #[test]
     fn ensemble_round_trips_through_json() {
         let reps = agents(3);
-        let text = PensieveEnsemble::agents_to_json(&reps);
+        let text = PensieveEnsemble::agents_to_json(&reps).unwrap();
         let loaded = PensieveEnsemble::agents_from_json(&text).unwrap();
         assert_eq!(loaded.len(), 3);
         let mut a = PensieveEnsemble::from_agents(&reps).unwrap();
@@ -434,6 +476,27 @@ mod tests {
             a.value_disagreement(&o).to_bits(),
             b.value_disagreement(&o).to_bits()
         );
+    }
+
+    #[test]
+    fn corrupt_artifacts_error_instead_of_panicking() {
+        // Truncated document.
+        assert!(PensieveEnsemble::agents_from_json("{\"format_ver").is_err());
+        // Wrong version.
+        assert!(
+            PensieveEnsemble::agents_from_json("{\"format_version\":99,\"replicas\":[]}").is_err()
+        );
+        // A number overflowed to ±∞ in the file (the lexer accepts
+        // `1e999` as inf): re-serializing the replica doc used to panic
+        // inside `to_json`; it must surface as a replica-indexed error.
+        let good = PensieveEnsemble::agents_to_json(&agents(2)).unwrap();
+        let spliced = good.replacen("\"history\":8", "\"history\":1e999", 1);
+        assert_ne!(spliced, good, "corruption splice must land");
+        let err = match PensieveEnsemble::agents_from_json(&spliced) {
+            Err(e) => e,
+            Ok(_) => panic!("non-finite number in artifact must not load"),
+        };
+        assert!(err.contains("replica 0"), "error names the replica: {err}");
     }
 
     #[test]

@@ -4,10 +4,9 @@
 
 use osa_abr::eval::evaluate_policy;
 use osa_abr::policy::{BufferBased, RandomPolicy};
-use osa_abr::sim::{AbrConfig, MultiSession};
+use osa_abr::sim::{AbrConfig, SessionCursor};
 use osa_abr::video::VideoModel;
 use osa_abr::OBS_DIM;
-use osa_nn::tensor::Tensor;
 use osa_trace::Trace;
 
 use crate::safe_agent::{SafeAgent, SafetyPolicy};
@@ -15,25 +14,50 @@ use crate::signal::UncertaintySignal;
 
 /// Everything one trace's streaming session produced: QoE accounting
 /// plus the per-decision signal time series the paper's figures plot.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SessionRun {
     /// Sum of per-chunk linear QoE.
     pub qoe: f64,
     pub rebuffer_s: f64,
     pub bitrate_mbps: f64,
     pub chunks: u64,
-    /// Raw signal value at each decision (frozen at the last un-tripped
-    /// value after a switch).
+    /// Raw signal value at each decision (frozen at the last observed
+    /// value while the signal is skipped on a sticky fallback).
     pub raw: Vec<f32>,
     /// k-window variance at each decision.
     pub variance: Vec<f32>,
-    /// Decision index at which the agent switched to the fallback.
+    /// Decision index at which the agent *first* switched to the
+    /// fallback.
     pub switch_index: Option<usize>,
+    /// Learned→fallback switches (> 1 only with reverse switching).
+    pub switches: usize,
+    /// Fallback→learned recoveries (0 without reverse switching).
+    pub recoveries: usize,
+}
+
+impl SessionRun {
+    /// Empty the accounting while keeping the time-series capacity, so
+    /// a reused buffer stays allocation-free across sessions.
+    fn clear(&mut self) {
+        self.qoe = 0.0;
+        self.rebuffer_s = 0.0;
+        self.bitrate_mbps = 0.0;
+        self.chunks = 0;
+        self.raw.clear();
+        self.variance.clear();
+        self.switch_index = None;
+        self.switches = 0;
+        self.recoveries = 0;
+    }
 }
 
 /// Stream one trace end to end under `agent` (reset first), recording
 /// the signal time series. One 48-chunk session, started at trace
 /// time 0 — the same protocol as `osa_abr::evaluate_policy`.
+///
+/// Allocates a fresh [`SessionRun`] per call; loops that run many
+/// sessions (calibration, [`evaluate_safe_agent`]) use
+/// [`run_session_into`] with a reused buffer instead.
 pub fn run_session<S, P, F>(
     agent: &mut SafeAgent<[f32], S, P, F>,
     video: &VideoModel,
@@ -45,28 +69,46 @@ where
     P: SafetyPolicy<[f32]>,
     F: SafetyPolicy<[f32]>,
 {
+    let mut out = SessionRun::default();
+    run_session_into(agent, video, cfg, trace, &mut out);
+    out
+}
+
+/// [`run_session`] into a caller-owned buffer, borrowing every input:
+/// no `VideoModel`/`Trace` clones, no per-session vector allocations
+/// once `out`'s time series have warmed up. The single-session engine
+/// is a stack-held [`SessionCursor`], which shares `step_chunk` /
+/// `encode_obs` with the batched `MultiSession` path — same bits,
+/// none of the per-session setup cost.
+pub fn run_session_into<S, P, F>(
+    agent: &mut SafeAgent<[f32], S, P, F>,
+    video: &VideoModel,
+    cfg: &AbrConfig,
+    trace: &Trace,
+    out: &mut SessionRun,
+) where
+    S: UncertaintySignal<[f32]>,
+    P: SafetyPolicy<[f32]>,
+    F: SafetyPolicy<[f32]>,
+{
     agent.reset();
-    let mut sim = MultiSession::new(video.clone(), cfg.clone(), vec![trace.clone()], 1, false);
-    let mut obs = Tensor::zeros(1, OBS_DIM);
-    let mut raw = Vec::new();
-    let mut variance = Vec::new();
-    let mut actions = [0usize; 1];
-    while !sim.all_done() {
-        sim.fill_observations(&mut obs);
-        actions[0] = agent.decide(obs.row(0));
-        raw.push(agent.last_raw());
-        variance.push(agent.last_variance());
-        sim.step_all(&actions);
+    out.clear();
+    let mut cur = SessionCursor::new();
+    let mut obs = [0.0f32; OBS_DIM];
+    while !cur.done(video) {
+        cur.encode_obs(video, &mut obs);
+        let level = agent.decide(&obs[..]);
+        out.raw.push(agent.last_raw());
+        out.variance.push(agent.last_variance());
+        let o = cur.step(video, cfg, trace, level);
+        out.qoe += o.reward;
+        out.rebuffer_s += o.rebuffer_s;
+        out.bitrate_mbps += video.bitrate_mbps(level);
+        out.chunks += 1;
     }
-    SessionRun {
-        qoe: sim.qoe_total(0),
-        rebuffer_s: sim.rebuffer_total(0),
-        bitrate_mbps: sim.bitrate_total_mbps(0),
-        chunks: sim.chunks_total(0),
-        raw,
-        variance,
-        switch_index: agent.switch_index(),
-    }
+    out.switch_index = agent.switch_index();
+    out.switches = agent.switches();
+    out.recoveries = agent.recoveries();
 }
 
 /// Aggregate of a safe agent over a trace set (one session per trace).
@@ -100,8 +142,9 @@ where
     let (mut qoe, mut rebuf, mut chunks) = (0.0f64, 0.0f64, 0u64);
     let mut switched = 0usize;
     let mut switch_sum = 0.0f64;
+    let mut run = SessionRun::default();
     for t in traces {
-        let run = run_session(agent, video, cfg, t);
+        run_session_into(agent, video, cfg, t, &mut run);
         qoe += run.qoe;
         rebuf += run.rebuffer_s;
         chunks += run.chunks;

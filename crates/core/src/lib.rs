@@ -15,10 +15,16 @@
 //!   l-consecutive-exceedance thresholding (§2.5);
 //! - [`calibrate`] — (α, l) calibration against in-distribution traces;
 //! - [`safe_agent`] — the [`SafeAgent`] wrapper: learned policy while
-//!   quiet, Buffer-Based once tripped, no reverse switching;
+//!   quiet, Buffer-Based once tripped, sticky by default with opt-in
+//!   hysteresis-based reverse switching
+//!   ([`ReverseConfig`](monitor::ReverseConfig));
 //! - [`eval`] — session runs with signal time series, and the
 //!   normalized 0 = Random / 1 = BB scoring (§3.3) shared by every
-//!   figure binary.
+//!   figure binary;
+//! - [`serve`] — the fleet-scale serving engine: 100k+ concurrent
+//!   sessions with struct-of-arrays monitor state, sharded across
+//!   `osa-runtime` lanes, decided by session-major batched stacked
+//!   forwards.
 //!
 //! # Determinism
 //!
@@ -34,6 +40,7 @@ pub mod ensemble;
 pub mod eval;
 pub mod monitor;
 pub mod safe_agent;
+pub mod serve;
 pub mod signal;
 
 pub use calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
@@ -42,13 +49,15 @@ pub use ensemble::{
     ENSEMBLE_FORMAT_VERSION,
 };
 pub use eval::{
-    anchors, evaluate_safe_agent, normalized, run_session, Anchors, SafeScore, SessionRun,
+    anchors, evaluate_safe_agent, normalized, run_session, run_session_into, Anchors, SafeScore,
+    SessionRun,
 };
-pub use monitor::{Monitor, DEFAULT_K};
+pub use monitor::{Monitor, ReverseConfig, DEFAULT_K};
 pub use safe_agent::{
     abr_safe_agent, AbrSafeAgent, BufferFallback, EnsemblePolicy, SafeAgent, SafetyPolicy,
     BUFFER_COL,
 };
+pub use serve::{FleetEngine, FleetSignal, FleetTelemetry, ServeConfig};
 pub use signal::{NoveltySignal, NullSignal, UncertaintySignal};
 
 /// Ensemble size the paper uses for U_π and U_V (§3.1).
@@ -68,13 +77,15 @@ pub mod prelude {
         ENSEMBLE_FORMAT_VERSION,
     };
     pub use crate::eval::{
-        anchors, evaluate_safe_agent, normalized, run_session, Anchors, SafeScore, SessionRun,
+        anchors, evaluate_safe_agent, normalized, run_session, run_session_into, Anchors,
+        SafeScore, SessionRun,
     };
-    pub use crate::monitor::{Monitor, DEFAULT_K};
+    pub use crate::monitor::{Monitor, ReverseConfig, DEFAULT_K};
     pub use crate::safe_agent::{
         abr_safe_agent, AbrSafeAgent, BufferFallback, EnsemblePolicy, SafeAgent, SafetyPolicy,
         BUFFER_COL,
     };
+    pub use crate::serve::{FleetEngine, FleetSignal, FleetTelemetry, ServeConfig};
     pub use crate::signal::{NoveltySignal, NullSignal, UncertaintySignal};
     pub use crate::{DEFAULT_L, ENSEMBLE_KEEP, ENSEMBLE_SIZE};
 }

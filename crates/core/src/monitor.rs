@@ -1,12 +1,28 @@
 //! k-window variance smoothing and l-consecutive-exceedance
-//! thresholding (§2.5).
+//! thresholding (§2.5), with optional hysteresis-based reverse
+//! switching.
 //!
 //! Raw signal values are noisy; the paper smooths them by monitoring the
 //! *variance of the last k values* and only declares uncertainty when
 //! that variance exceeds a calibrated threshold α for l consecutive
 //! decisions. Once tripped, a monitor stays tripped — the paper's
 //! SafeAgent defaults to the safe policy for the rest of the session
-//! (no reverse switching).
+//! (no reverse switching). That sticky behavior is the default here.
+//!
+//! # Reverse switching
+//!
+//! The Neural Simplex line of work treats the opposite transition as a
+//! first-class event: once the uncertainty signal goes quiet again,
+//! control can be handed *back* to the learned policy. A [`Monitor`]
+//! built with a [`ReverseConfig`] keeps folding raw values into its ring
+//! while on the fallback and recovers after `quiet_windows` consecutive
+//! in-threshold variances (`variance ≤ α`). Oscillation is damped two
+//! ways: the quiet streak resets to zero at every trip (so recovery can
+//! never happen fewer than `quiet_windows` decisions after a trip), and
+//! a re-trip within `retrip_guard` decisions of a recovery *locks* the
+//! monitor onto the fallback for the rest of the session — a signal that
+//! goes loud right after it went quiet has proven its quiet spells are
+//! not trustworthy.
 //!
 //! Determinism: the variance is summed in chronological order over the
 //! ring, so a monitor's state is a pure function of the raw value
@@ -15,8 +31,31 @@
 /// Default window length k for the signal variance.
 pub const DEFAULT_K: usize = 5;
 
+/// Hysteresis parameters for reverse switching (off by default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReverseConfig {
+    /// Consecutive in-threshold (`variance ≤ α`) decisions required
+    /// while on the fallback before control returns to the learned
+    /// policy. Must be ≥ 1.
+    pub quiet_windows: usize,
+    /// A re-trip at most this many decisions after a recovery locks the
+    /// monitor onto the fallback permanently (until `reset`). 0 still
+    /// locks on an immediate re-trip, `usize::MAX` locks on any re-trip.
+    pub retrip_guard: usize,
+}
+
+impl ReverseConfig {
+    pub fn new(quiet_windows: usize, retrip_guard: usize) -> ReverseConfig {
+        assert!(quiet_windows >= 1, "quiet_windows m must be >= 1");
+        ReverseConfig {
+            quiet_windows,
+            retrip_guard,
+        }
+    }
+}
+
 /// Rolling variance of the last k raw values plus the l-consecutive
-/// trip counter.
+/// trip counter and (optionally) the reverse-switching state machine.
 #[derive(Clone, Debug)]
 pub struct Monitor {
     k: usize,
@@ -30,16 +69,26 @@ pub struct Monitor {
     /// variance of a constant window is 0 — anchored at μ₀ the same
     /// window reads `(v − μ₀)²`.
     anchor: Option<f32>,
+    reverse: Option<ReverseConfig>,
     ring: Vec<f32>,
     len: usize,
     pos: usize,
     consecutive: usize,
+    /// Consecutive in-threshold decisions while on the fallback.
+    quiet: usize,
+    on_fallback: bool,
+    locked: bool,
     tripped_at: Option<usize>,
+    last_trip: Option<usize>,
+    last_recovery: Option<usize>,
+    switches: usize,
+    recoveries: usize,
     decisions: usize,
     variance: f32,
 }
 
 impl Monitor {
+    /// Sticky monitor (the paper's behavior: no reverse switching).
     /// Panics if `k == 0` or `l == 0`.
     pub fn new(k: usize, alpha: f32, l: usize) -> Monitor {
         assert!(k >= 1, "variance window k must be >= 1");
@@ -49,20 +98,38 @@ impl Monitor {
             alpha,
             l,
             anchor: None,
+            reverse: None,
             ring: vec![0.0; k],
             len: 0,
             pos: 0,
             consecutive: 0,
+            quiet: 0,
+            on_fallback: false,
+            locked: false,
             tripped_at: None,
+            last_trip: None,
+            last_recovery: None,
+            switches: 0,
+            recoveries: 0,
             decisions: 0,
             variance: 0.0,
         }
     }
 
-    /// Replace the threshold (used once by calibration); resets nothing
-    /// else, so call [`Monitor::reset`] afterwards.
+    /// Monitor with hysteresis-based reverse switching enabled.
+    pub fn with_reverse(k: usize, alpha: f32, l: usize, reverse: ReverseConfig) -> Monitor {
+        assert!(reverse.quiet_windows >= 1, "quiet_windows m must be >= 1");
+        let mut m = Monitor::new(k, alpha, l);
+        m.reverse = Some(reverse);
+        m
+    }
+
+    /// Replace the threshold (used once by calibration). Resets all
+    /// rolling state: a threshold chosen *after* watching a stretch of
+    /// traffic must not inherit that stretch's exceedance streak.
     pub fn set_alpha(&mut self, alpha: f32) {
         self.alpha = alpha;
+        self.reset();
     }
 
     pub fn alpha(&self) -> f32 {
@@ -71,12 +138,29 @@ impl Monitor {
 
     /// Anchor the variance at the calibrated in-distribution level
     /// (used once by calibration); `None` restores sample-mean variance.
+    /// Resets all rolling state — ring contents measured under the old
+    /// anchor are meaningless under the new one.
     pub fn set_anchor(&mut self, anchor: Option<f32>) {
         self.anchor = anchor;
+        self.reset();
     }
 
     pub fn anchor(&self) -> Option<f32> {
         self.anchor
+    }
+
+    /// Enable (`Some`) or disable (`None`) reverse switching. Resets
+    /// all rolling state, like the other calibration setters.
+    pub fn set_reverse(&mut self, reverse: Option<ReverseConfig>) {
+        if let Some(r) = reverse {
+            assert!(r.quiet_windows >= 1, "quiet_windows m must be >= 1");
+        }
+        self.reverse = reverse;
+        self.reset();
+    }
+
+    pub fn reverse(&self) -> Option<ReverseConfig> {
+        self.reverse
     }
 
     pub fn k(&self) -> usize {
@@ -87,23 +171,35 @@ impl Monitor {
         self.l
     }
 
-    /// Forget all rolling state (session boundary); keeps (k, α, l).
+    /// Forget all rolling state (session boundary); keeps (k, α, l),
+    /// the anchor, and the reverse configuration.
     pub fn reset(&mut self) {
         self.ring.fill(0.0);
         self.len = 0;
         self.pos = 0;
         self.consecutive = 0;
+        self.quiet = 0;
+        self.on_fallback = false;
+        self.locked = false;
         self.tripped_at = None;
+        self.last_trip = None;
+        self.last_recovery = None;
+        self.switches = 0;
+        self.recoveries = 0;
         self.decisions = 0;
         self.variance = 0.0;
     }
 
     /// Feed one raw signal value; returns the tripped state after this
     /// decision. Exceedances only count once the window is full.
+    ///
+    /// Without reverse switching a tripped monitor ignores `raw`
+    /// entirely (the ring freezes at the trip); with it the ring keeps
+    /// rolling so the quiet streak can be measured.
     pub fn update(&mut self, raw: f32) -> bool {
         let index = self.decisions;
         self.decisions += 1;
-        if self.tripped_at.is_some() {
+        if self.on_fallback && !self.reverse_enabled() {
             return true;
         }
         self.ring[self.pos] = raw;
@@ -112,18 +208,54 @@ impl Monitor {
             self.len += 1;
         }
         if self.len < self.k {
-            return false;
+            return self.on_fallback;
         }
         self.variance = self.window_variance();
-        if self.variance > self.alpha {
+        if self.on_fallback {
+            if self.variance > self.alpha {
+                self.quiet = 0;
+            } else {
+                self.quiet += 1;
+                let m = self.reverse.expect("on_fallback update implies reverse");
+                if self.quiet >= m.quiet_windows {
+                    self.on_fallback = false;
+                    self.recoveries += 1;
+                    self.last_recovery = Some(index);
+                    self.quiet = 0;
+                    self.consecutive = 0;
+                }
+            }
+        } else if self.variance > self.alpha {
             self.consecutive += 1;
             if self.consecutive >= self.l {
-                self.tripped_at = Some(index);
+                self.trip(index);
             }
         } else {
             self.consecutive = 0;
         }
-        self.tripped_at.is_some()
+        self.on_fallback
+    }
+
+    /// Switch to the fallback at decision `index`, arming the re-trip
+    /// lock when this trip lands inside the guard window of a recovery.
+    fn trip(&mut self, index: usize) {
+        self.on_fallback = true;
+        self.switches += 1;
+        if self.tripped_at.is_none() {
+            self.tripped_at = Some(index);
+        }
+        self.last_trip = Some(index);
+        self.consecutive = 0;
+        self.quiet = 0;
+        if let (Some(rev), Some(rec)) = (self.reverse, self.last_recovery) {
+            if index - rec <= rev.retrip_guard {
+                self.locked = true;
+            }
+        }
+    }
+
+    fn reverse_enabled(&self) -> bool {
+        self.reverse.is_some() && !self.locked
     }
 
     /// Variance of the full ring about the anchor (or the window's own
@@ -155,13 +287,49 @@ impl Monitor {
         self.variance
     }
 
+    /// Currently acting through the fallback. Sticky monitors stay
+    /// tripped forever; reverse monitors may clear this on recovery.
     pub fn tripped(&self) -> bool {
-        self.tripped_at.is_some()
+        self.on_fallback
     }
 
-    /// Decision index (0-based) at which the monitor tripped.
+    /// True while this update's raw value is still being consumed: not
+    /// on the fallback, or on it with a live chance of recovering. A
+    /// sticky (or locked) fallback never observes again.
+    pub fn observing(&self) -> bool {
+        !self.on_fallback || self.reverse_enabled()
+    }
+
+    /// Decision index (0-based) at which the monitor *first* tripped.
     pub fn tripped_at(&self) -> Option<usize> {
         self.tripped_at
+    }
+
+    /// Decision index of the most recent trip (equals
+    /// [`Monitor::tripped_at`] unless the monitor recovered in between).
+    pub fn last_trip(&self) -> Option<usize> {
+        self.last_trip
+    }
+
+    /// Decision index of the most recent recovery to the learned policy.
+    pub fn last_recovery(&self) -> Option<usize> {
+        self.last_recovery
+    }
+
+    /// Learned→fallback switches so far (1 at most without reverse).
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Fallback→learned recoveries so far (always 0 without reverse).
+    pub fn recoveries(&self) -> usize {
+        self.recoveries
+    }
+
+    /// Re-trip lock engaged: the monitor re-tripped within the guard
+    /// window of a recovery and now behaves like a sticky monitor.
+    pub fn locked(&self) -> bool {
+        self.locked
     }
 
     /// Updates consumed so far.
@@ -204,6 +372,8 @@ mod tests {
         let at = m.tripped_at().unwrap();
         assert!(m.update(1.0));
         assert_eq!(m.tripped_at(), Some(at), "trip index is sticky");
+        assert_eq!(m.switches(), 1);
+        assert_eq!(m.recoveries(), 0);
     }
 
     #[test]
@@ -226,5 +396,123 @@ mod tests {
         m.reset();
         assert!(!m.tripped());
         assert_eq!(m.decisions(), 0);
+    }
+
+    /// The calibration footgun: exceedances counted under the throwaway
+    /// pre-calibration threshold must not survive `set_alpha` — a
+    /// monitor calibrated mid-stream would otherwise trip up to l − 1
+    /// decisions early.
+    #[test]
+    fn set_alpha_discards_stale_rolling_state() {
+        let mut m = Monitor::new(2, 0.0, 3);
+        // α = 0: every full window exceeds, driving consecutive to l − 1.
+        m.update(1.0);
+        m.update(5.0);
+        m.update(1.0);
+        assert_eq!(m.consecutive, 2);
+        m.set_alpha(0.5);
+        assert_eq!(m.consecutive, 0, "set_alpha must reset the streak");
+        assert_eq!(m.decisions(), 0);
+        // One post-calibration exceedance is not l consecutive ones.
+        m.update(0.0);
+        assert!(!m.update(10.0), "stale streak would have tripped here");
+        assert_eq!(m.consecutive, 1);
+        // l genuine consecutive exceedances still trip.
+        assert!(!m.update(0.0));
+        assert!(m.update(10.0));
+        assert!(m.tripped());
+    }
+
+    #[test]
+    fn set_anchor_discards_stale_rolling_state() {
+        let mut m = Monitor::new(2, 0.1, 1);
+        m.update(3.0);
+        m.update(3.0);
+        assert!(m.variance() < 0.1);
+        m.set_anchor(Some(0.0));
+        assert_eq!(m.decisions(), 0);
+        assert_eq!(m.variance(), 0.0, "old-anchor variance must not leak");
+        // The ring was cleared: the anchored variance sees only fresh
+        // values, not the pre-anchor 3.0s.
+        m.update(0.0);
+        assert!(!m.update(0.0));
+        assert_eq!(m.variance(), 0.0);
+    }
+
+    #[test]
+    fn reverse_recovers_after_quiet_windows_and_counts_switches() {
+        let mut m = Monitor::with_reverse(2, 0.5, 1, ReverseConfig::new(3, 0));
+        m.update(0.0);
+        assert!(m.update(9.0)); // trip: window (0, 9) is loud
+        assert_eq!(m.switches(), 1);
+        assert!(m.observing(), "reverse monitors keep observing");
+        // Constant from here on → every window (9, 9) is quiet; recovery
+        // needs 3 consecutive ones.
+        assert!(m.update(9.0)); // quiet 1
+        assert!(m.update(9.0)); // quiet 2
+        assert!(!m.update(9.0), "third quiet window recovers");
+        assert_eq!(m.recoveries(), 1);
+        assert!(m.last_recovery().is_some());
+        assert!(!m.tripped());
+    }
+
+    #[test]
+    fn never_recovers_within_m_windows_of_a_trip() {
+        let m_windows = 4;
+        let mut m = Monitor::with_reverse(2, 0.5, 1, ReverseConfig::new(m_windows, 0));
+        m.update(0.0);
+        m.update(9.0); // trip at index 1
+        let trip = m.last_trip().unwrap();
+        // Perfectly quiet from here on — recovery still takes m updates.
+        let mut steps = 0;
+        while m.tripped() {
+            m.update(9.0);
+            steps += 1;
+            assert!(steps <= 16, "never recovered");
+        }
+        let rec = m.last_recovery().unwrap();
+        assert!(
+            rec - trip >= m_windows,
+            "recovered {} decisions after the trip (m = {m_windows})",
+            rec - trip
+        );
+    }
+
+    #[test]
+    fn retrip_inside_guard_locks_onto_fallback() {
+        let mut m = Monitor::with_reverse(2, 0.5, 1, ReverseConfig::new(1, 8));
+        m.update(0.0);
+        m.update(9.0); // switch 1
+        assert!(!m.update(9.0)); // window (9, 9) is quiet → recovers (m = 1)
+        assert!(!m.tripped());
+        assert_eq!(m.recoveries(), 1);
+        // Immediately loud again → second switch, inside the guard → lock.
+        assert!(m.update(0.0));
+        assert_eq!(m.switches(), 2, "re-trip recorded as a second switch");
+        assert!(m.locked());
+        assert!(!m.observing());
+        // Locked = sticky: quiet forever, never recovers.
+        for _ in 0..32 {
+            assert!(m.update(0.0));
+        }
+        assert_eq!(m.recoveries(), 1);
+        // Reset clears the lock.
+        m.reset();
+        assert!(!m.locked());
+        assert!(!m.tripped());
+    }
+
+    #[test]
+    fn sticky_monitor_freezes_ring_after_trip() {
+        // The reverse-off ring freeze is what keeps fig1–fig5 byte-
+        // identical: post-trip raw values must not touch the variance.
+        let mut m = Monitor::new(2, 0.5, 1);
+        m.update(0.0);
+        m.update(9.0);
+        assert!(m.tripped());
+        let frozen = m.variance();
+        m.update(1234.5);
+        assert_eq!(m.variance().to_bits(), frozen.to_bits());
+        assert!(!m.observing());
     }
 }

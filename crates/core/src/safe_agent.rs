@@ -5,9 +5,12 @@
 //! observation *first*, the monitor folds the raw value into its
 //! k-window variance, and only then does a policy act — the fallback if
 //! the monitor has tripped (including on this very decision), the
-//! learned policy otherwise. Once tripped, the agent stays on the
-//! fallback for the rest of the session and skips signal evaluation
-//! entirely (the paper never switches back).
+//! learned policy otherwise. Once tripped, a sticky agent (the paper's
+//! default) stays on the fallback for the rest of the session and skips
+//! signal evaluation entirely; a monitor built with a
+//! [`ReverseConfig`](crate::monitor::ReverseConfig) keeps evaluating the
+//! signal while on the fallback and hands control back to the learned
+//! policy after the configured quiet streak (see [`crate::monitor`]).
 
 use std::marker::PhantomData;
 
@@ -137,7 +140,7 @@ where
     /// warm-up.
     pub fn decide(&mut self, obs: &O) -> usize {
         self.decisions += 1;
-        if !self.monitor.tripped() {
+        if self.monitor.observing() {
             self.last_raw = self.signal.observe(obs);
             self.monitor.update(self.last_raw);
         }
@@ -185,10 +188,22 @@ where
         self.monitor.tripped()
     }
 
-    /// Decision index (0-based) at which the agent switched to the
-    /// fallback, if it did.
+    /// Decision index (0-based) at which the agent *first* switched to
+    /// the fallback, if it did.
     pub fn switch_index(&self) -> Option<usize> {
         self.monitor.tripped_at()
+    }
+
+    /// Learned→fallback switches this session (can exceed 1 only with
+    /// reverse switching enabled on the monitor).
+    pub fn switches(&self) -> usize {
+        self.monitor.switches()
+    }
+
+    /// Fallback→learned recoveries this session (0 without reverse
+    /// switching).
+    pub fn recoveries(&self) -> usize {
+        self.monitor.recoveries()
     }
 
     /// Decisions taken since the last reset.
@@ -248,6 +263,28 @@ mod tests {
         agent.reset();
         assert!(!agent.tripped());
         assert_eq!(agent.decide(&obs), 5);
+    }
+
+    #[test]
+    fn reverse_switching_returns_to_the_learned_policy() {
+        use crate::monitor::ReverseConfig;
+        let mut agent = SafeAgent::new(
+            ColSignal(0),
+            Monitor::with_reverse(2, 0.1, 1, ReverseConfig::new(2, 0)),
+            ConstPolicy(5),
+            ConstPolicy(0),
+        );
+        let mut obs = [0.0f32; OBS_DIM];
+        assert_eq!(agent.decide(&obs), 5);
+        obs[0] = 10.0;
+        assert_eq!(agent.decide(&obs), 0, "trip decision acts via fallback");
+        assert_eq!(agent.switches(), 1);
+        // Hold the signal constant: windows go quiet, and after the
+        // m = 2 quiet streak control returns to the learned policy.
+        assert_eq!(agent.decide(&obs), 0);
+        assert_eq!(agent.decide(&obs), 5, "recovered to the learned policy");
+        assert_eq!(agent.recoveries(), 1);
+        assert_eq!(agent.switch_index(), Some(1), "first trip index is kept");
     }
 
     #[test]

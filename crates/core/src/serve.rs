@@ -1,0 +1,873 @@
+//! Fleet-scale SafeAgent serving: 100k+ concurrent guarded ABR
+//! sessions, decided by session-major batched ensemble inference.
+//!
+//! [`crate::run_session`] exercises the safety layer one stream at a
+//! time; a CDN front-end runs *fleets*. [`FleetEngine`] holds the whole
+//! fleet in struct-of-arrays form — the `osa_abr::MultiSession`
+//! simulator for the streaming state, [`FleetMonitors`] for the
+//! per-session safety state (k-window variance rings, l-counters, and
+//! the switch/recovery state machines), and per-session
+//! [`FeatureWindow`]s when the fleet is guarded by U_S.
+//!
+//! # One decision round
+//!
+//! 1. **Parallel compute** — sessions are split across the current
+//!    `osa-runtime` pool's lanes ([`ThreadPool::parallel_for_slice`]),
+//!    and each lane walks its contiguous session range in shard-sized
+//!    batches: one observation fill, one stacked actor forward for the
+//!    whole shard (`(replicas · shard) × dim` — *session-major*, every
+//!    replica of every session in a single grouped GEMM per layer), a
+//!    per-session softmax/mean/argmax for the learned action, and the
+//!    guarding signal's raw value (a batched critic forward for U_V, a
+//!    feature-window score for U_S). Lanes write only their own slice
+//!    of [`SessionSlot`]s and their own [`LaneSlots`] scratch.
+//! 2. **Serial apply** — in session order: fold each raw value into the
+//!    session's monitor, pick the learned or fallback action, then
+//!    advance the simulator one chunk (`step_all`, itself two-phase).
+//!
+//! # Determinism
+//!
+//! Worker count changes *which lane* computes a session and how big the
+//! GEMM batches are — never the bits: `osa_nn::stacked` guarantees row
+//! arithmetic independent of batch size and run split, every
+//! per-session reduction here runs in a fixed order, and all state
+//! mutation happens in the serial phase in session order. Telemetry and
+//! per-session switch/recovery indices are bit-identical at any
+//! `OSA_THREADS`, pinned by `tests/serve_determinism.rs`.
+//!
+//! # Reverse switching
+//!
+//! [`ServeConfig::reverse`] arms the monitors' hysteresis state machine
+//! (see [`crate::monitor`]): a tripped session keeps evaluating its
+//! signal and returns to the learned policy after `quiet_windows`
+//! consecutive in-threshold variances, with a re-trip lock against
+//! oscillation. Off by default — the paper's sticky behavior.
+
+use osa_abr::policy::BufferBased;
+use osa_abr::sim::{AbrConfig, MultiSession};
+use osa_abr::video::VideoModel;
+use osa_abr::{HISTORY_LEN, NUM_BITRATES, OBS_DIM};
+use osa_nn::stacked::StackedNet;
+use osa_nn::tensor::Tensor;
+use osa_nn::workspace::Workspace;
+use osa_ocsvm::detector::NoveltyDetector;
+use osa_ocsvm::features::{FeatureWindow, FEATURE_DIM};
+use osa_ocsvm::OcSvm;
+use osa_runtime::{LaneSlots, ThreadPool};
+use osa_trace::Trace;
+
+use crate::ensemble::{softmax_row, trimmed_mean, PensieveEnsemble};
+use crate::monitor::ReverseConfig;
+use crate::{DEFAULT_K, DEFAULT_L};
+
+/// Sentinel for "no decision index recorded yet" in the SoA monitor
+/// arrays (`u32` indices keep the hot arrays compact).
+const NO_INDEX: u32 = u32::MAX;
+
+/// Which uncertainty signal guards the fleet.
+pub enum FleetSignal {
+    /// Never trips — the unguarded learned policy (baseline fleets).
+    Null,
+    /// U_V: per-session value disagreement off the batched stacked
+    /// critic forward. The fleet counterpart of
+    /// [`crate::ValueDisagreement`].
+    ValueDisagreement,
+    /// U_S: per-session throughput [`FeatureWindow`]s scored by a
+    /// fitted one-class SVM. The fleet counterpart of
+    /// [`crate::NoveltySignal`].
+    Novelty(OcSvm),
+}
+
+/// Fleet-wide safety configuration (every session shares one (k, α, l)
+/// and one reverse policy — calibration is per-signal, not per-viewer).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub k: usize,
+    pub alpha: f32,
+    pub l: usize,
+    /// See [`crate::Monitor::set_anchor`].
+    pub anchor: Option<f32>,
+    /// `Some` arms hysteresis-based reverse switching on every monitor.
+    pub reverse: Option<ReverseConfig>,
+    /// Max sessions per batched stacked dispatch inside one lane. Caps
+    /// scratch size; has no effect on results (batch-size-independent
+    /// row arithmetic), only on locality.
+    pub shard: usize,
+    /// Roll finished sessions onto the next trace round-robin (the
+    /// steady-state bench configuration). Off = one video per session,
+    /// the evaluation configuration.
+    pub auto_reset: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            k: DEFAULT_K,
+            alpha: f32::INFINITY,
+            l: DEFAULT_L,
+            anchor: None,
+            reverse: None,
+            shard: 256,
+            auto_reset: false,
+        }
+    }
+}
+
+/// Struct-of-arrays monitor state for the whole fleet — field-for-field
+/// the state machine of [`crate::Monitor`], laid out per session.
+/// `tests/serve_determinism.rs` pins the two implementations bit-equal
+/// on shared raw-value streams.
+pub struct FleetMonitors {
+    k: usize,
+    alpha: f32,
+    l: usize,
+    anchor: Option<f32>,
+    reverse: Option<ReverseConfig>,
+    /// `n × k` variance rings.
+    ring: Vec<f32>,
+    len: Vec<u32>,
+    pos: Vec<u32>,
+    consecutive: Vec<u32>,
+    quiet: Vec<u32>,
+    on_fallback: Vec<bool>,
+    locked: Vec<bool>,
+    tripped_at: Vec<u32>,
+    last_trip: Vec<u32>,
+    last_recovery: Vec<u32>,
+    switches: Vec<u32>,
+    recoveries: Vec<u32>,
+    decisions: Vec<u32>,
+    variance: Vec<f32>,
+}
+
+impl FleetMonitors {
+    pub fn new(n: usize, cfg: &ServeConfig) -> FleetMonitors {
+        assert!(cfg.k >= 1, "variance window k must be >= 1");
+        assert!(cfg.l >= 1, "consecutive exceedances l must be >= 1");
+        if let Some(r) = cfg.reverse {
+            assert!(r.quiet_windows >= 1, "quiet_windows m must be >= 1");
+        }
+        FleetMonitors {
+            k: cfg.k,
+            alpha: cfg.alpha,
+            l: cfg.l,
+            anchor: cfg.anchor,
+            reverse: cfg.reverse,
+            ring: vec![0.0; n * cfg.k],
+            len: vec![0; n],
+            pos: vec![0; n],
+            consecutive: vec![0; n],
+            quiet: vec![0; n],
+            on_fallback: vec![false; n],
+            locked: vec![false; n],
+            tripped_at: vec![NO_INDEX; n],
+            last_trip: vec![NO_INDEX; n],
+            last_recovery: vec![NO_INDEX; n],
+            switches: vec![0; n],
+            recoveries: vec![0; n],
+            decisions: vec![0; n],
+            variance: vec![0.0; n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.decisions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Replace the fleet-wide threshold; resets every session's rolling
+    /// state (same contract as [`crate::Monitor::set_alpha`]).
+    pub fn set_alpha(&mut self, alpha: f32) {
+        self.alpha = alpha;
+        for i in 0..self.len() {
+            self.reset_session(i);
+        }
+    }
+
+    fn reverse_enabled(&self, i: usize) -> bool {
+        self.reverse.is_some() && !self.locked[i]
+    }
+
+    /// Mirror of [`crate::Monitor::observing`] for session `i`.
+    pub fn observing(&self, i: usize) -> bool {
+        !self.on_fallback[i] || self.reverse_enabled(i)
+    }
+
+    /// Mirror of [`crate::Monitor::update`] for session `i` — the same
+    /// arithmetic in the same order, so the bits match the scalar
+    /// monitor on any shared raw stream.
+    pub fn update(&mut self, i: usize, raw: f32) -> bool {
+        let index = self.decisions[i];
+        self.decisions[i] += 1;
+        if self.on_fallback[i] && !self.reverse_enabled(i) {
+            return true;
+        }
+        let k = self.k;
+        let ring = &mut self.ring[i * k..(i + 1) * k];
+        let mut pos = self.pos[i] as usize;
+        ring[pos] = raw;
+        pos = (pos + 1) % k;
+        self.pos[i] = pos as u32;
+        if (self.len[i] as usize) < k {
+            self.len[i] += 1;
+        }
+        if (self.len[i] as usize) < k {
+            return self.on_fallback[i];
+        }
+        let n = k as f32;
+        let mean = match self.anchor {
+            Some(mu) => mu,
+            None => {
+                let mut sum = 0.0f32;
+                for j in 0..k {
+                    sum += ring[(pos + j) % k];
+                }
+                sum / n
+            }
+        };
+        let mut var = 0.0f32;
+        for j in 0..k {
+            let d = ring[(pos + j) % k] - mean;
+            var += d * d;
+        }
+        let var = var / n;
+        self.variance[i] = var;
+        if self.on_fallback[i] {
+            if var > self.alpha {
+                self.quiet[i] = 0;
+            } else {
+                self.quiet[i] += 1;
+                let m = self.reverse.expect("on-fallback update implies reverse");
+                if self.quiet[i] as usize >= m.quiet_windows {
+                    self.on_fallback[i] = false;
+                    self.recoveries[i] += 1;
+                    self.last_recovery[i] = index;
+                    self.quiet[i] = 0;
+                    self.consecutive[i] = 0;
+                }
+            }
+        } else if var > self.alpha {
+            self.consecutive[i] += 1;
+            if self.consecutive[i] as usize >= self.l {
+                self.on_fallback[i] = true;
+                self.switches[i] += 1;
+                if self.tripped_at[i] == NO_INDEX {
+                    self.tripped_at[i] = index;
+                }
+                self.last_trip[i] = index;
+                self.consecutive[i] = 0;
+                self.quiet[i] = 0;
+                if let Some(rev) = self.reverse {
+                    if self.last_recovery[i] != NO_INDEX
+                        && (index - self.last_recovery[i]) as usize <= rev.retrip_guard
+                    {
+                        self.locked[i] = true;
+                    }
+                }
+            }
+        } else {
+            self.consecutive[i] = 0;
+        }
+        self.on_fallback[i]
+    }
+
+    /// Session boundary (auto-reset rollover): forget session `i`'s
+    /// rolling state and trip/recovery *indices*, keep its lifetime
+    /// switch/recovery/decision counters — the same split
+    /// `MultiSession` makes between per-video state and lifetime
+    /// accounting.
+    pub fn reset_session(&mut self, i: usize) {
+        self.ring[i * self.k..(i + 1) * self.k].fill(0.0);
+        self.len[i] = 0;
+        self.pos[i] = 0;
+        self.consecutive[i] = 0;
+        self.quiet[i] = 0;
+        self.on_fallback[i] = false;
+        self.locked[i] = false;
+        self.tripped_at[i] = NO_INDEX;
+        self.last_trip[i] = NO_INDEX;
+        self.last_recovery[i] = NO_INDEX;
+        self.variance[i] = 0.0;
+    }
+
+    pub fn tripped(&self, i: usize) -> bool {
+        self.on_fallback[i]
+    }
+
+    pub fn locked(&self, i: usize) -> bool {
+        self.locked[i]
+    }
+
+    /// Lifetime-decision index of session `i`'s first trip.
+    pub fn tripped_at(&self, i: usize) -> Option<usize> {
+        index_opt(self.tripped_at[i])
+    }
+
+    pub fn last_trip(&self, i: usize) -> Option<usize> {
+        index_opt(self.last_trip[i])
+    }
+
+    pub fn last_recovery(&self, i: usize) -> Option<usize> {
+        index_opt(self.last_recovery[i])
+    }
+
+    pub fn switches(&self, i: usize) -> usize {
+        self.switches[i] as usize
+    }
+
+    pub fn recoveries(&self, i: usize) -> usize {
+        self.recoveries[i] as usize
+    }
+
+    pub fn decisions(&self, i: usize) -> usize {
+        self.decisions[i] as usize
+    }
+
+    pub fn variance(&self, i: usize) -> f32 {
+        self.variance[i]
+    }
+}
+
+fn index_opt(v: u32) -> Option<usize> {
+    if v == NO_INDEX {
+        None
+    } else {
+        Some(v as usize)
+    }
+}
+
+/// Per-session outputs of the parallel phase, plus the U_S feature
+/// window (per-session signal state must live in the sharded slice so
+/// lanes can mutate it without aliasing).
+struct SessionSlot {
+    /// Raw signal value of this round (U_S: the last scored value, held
+    /// through warm-up like `NoveltySignal::last`).
+    raw: f32,
+    /// Learned (ensemble-mean argmax) action of this round.
+    learned: u8,
+    fw: FeatureWindow,
+}
+
+impl SessionSlot {
+    fn new() -> SessionSlot {
+        SessionSlot {
+            raw: 0.0,
+            learned: 0,
+            fw: FeatureWindow::new(),
+        }
+    }
+
+    fn reset_signal(&mut self) {
+        self.raw = 0.0;
+        self.fw.reset();
+    }
+}
+
+/// Per-lane scratch: workspace + forward tensors sized for one shard.
+struct LaneScratch {
+    ws: Workspace,
+    x: Tensor,
+    logits: Tensor,
+    values: Tensor,
+    probs: Tensor,
+    mean: [f32; NUM_BITRATES],
+    devs: Vec<f32>,
+    feat: [f32; FEATURE_DIM],
+}
+
+impl LaneScratch {
+    fn new(replicas: usize, shard: usize) -> LaneScratch {
+        LaneScratch {
+            ws: Workspace::new(),
+            x: Tensor::zeros(shard, OBS_DIM),
+            logits: Tensor::zeros(0, 0),
+            values: Tensor::zeros(0, 0),
+            probs: Tensor::zeros(replicas * shard, NUM_BITRATES),
+            mean: [0.0; NUM_BITRATES],
+            devs: Vec::with_capacity(replicas),
+            feat: [0.0; FEATURE_DIM],
+        }
+    }
+}
+
+/// Aggregate fleet telemetry — a pure, deterministic function of the
+/// serial per-session state (bit-identical at any worker count).
+#[derive(Clone, Debug)]
+pub struct FleetTelemetry {
+    pub sessions: usize,
+    pub rounds: u64,
+    /// Total chunks downloaded (= guarded decisions taken).
+    pub decisions: u64,
+    /// Mean linear QoE per chunk across the fleet.
+    pub mean_qoe_per_chunk: f64,
+    /// Mean rebuffering seconds per session.
+    pub mean_rebuffer_s: f64,
+    /// Percentiles of the per-session lifetime QoE distribution.
+    pub qoe_p10: f64,
+    pub qoe_p50: f64,
+    pub qoe_p90: f64,
+    /// Sessions that switched to the fallback at least once.
+    pub switched_sessions: usize,
+    /// Sessions that recovered to the learned policy at least once.
+    pub recovered_sessions: usize,
+    /// Sessions whose re-trip lock engaged.
+    pub locked_sessions: usize,
+    pub total_switches: u64,
+    pub total_recoveries: u64,
+    /// `switched_sessions / sessions`.
+    pub switch_rate: f64,
+    /// `recovered_sessions / switched_sessions` (0 when nothing
+    /// switched).
+    pub recovery_rate: f64,
+    /// Mean first-trip decision index over switched sessions (−1 when
+    /// nothing switched; never NaN so reports stay JSON-clean).
+    pub mean_first_switch: f64,
+}
+
+/// The multi-tenant serving engine: one guarded decision per session
+/// per [`FleetEngine::round`].
+pub struct FleetEngine {
+    sim: MultiSession,
+    actor: StackedNet,
+    critic: StackedNet,
+    replicas: usize,
+    keep: usize,
+    signal: FleetSignal,
+    monitors: FleetMonitors,
+    slots: Vec<SessionSlot>,
+    actions: Vec<usize>,
+    lanes: Option<LaneSlots<LaneScratch>>,
+    bb: BufferBased,
+    shard: usize,
+    auto_reset: bool,
+    completed_seen: Vec<u64>,
+    rounds: u64,
+}
+
+impl FleetEngine {
+    /// Build a fleet of `n` sessions over `traces` (session `i` starts
+    /// on trace `i mod traces.len()`), guarded by `signal` under
+    /// `serve`'s fleet-wide (k, α, l) and reverse policy. The ensemble
+    /// is consumed: its stacked actor/critic become the fleet's shared
+    /// inference nets.
+    pub fn new(
+        ens: PensieveEnsemble,
+        signal: FleetSignal,
+        video: VideoModel,
+        cfg: AbrConfig,
+        traces: Vec<Trace>,
+        n: usize,
+        serve: &ServeConfig,
+    ) -> FleetEngine {
+        let replicas = ens.replicas();
+        let keep = ens.keep();
+        let (actor, critic) = ens.into_nets();
+        let sim = MultiSession::new(video, cfg, traces, n, serve.auto_reset);
+        FleetEngine {
+            sim,
+            actor,
+            critic,
+            replicas,
+            keep,
+            signal,
+            monitors: FleetMonitors::new(n, serve),
+            slots: (0..n).map(|_| SessionSlot::new()).collect(),
+            actions: vec![0; n],
+            lanes: None,
+            bb: BufferBased::default(),
+            shard: serve.shard.max(1),
+            auto_reset: serve.auto_reset,
+            completed_seen: vec![0; n],
+            rounds: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Decision rounds taken so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    pub fn sim(&self) -> &MultiSession {
+        &self.sim
+    }
+
+    pub fn monitors(&self) -> &FleetMonitors {
+        &self.monitors
+    }
+
+    /// One decision round for the whole fleet on the current
+    /// `osa-runtime` pool. Allocation-free after the first round on a
+    /// given pool width. Returns `false` once every session has
+    /// finished (never with `auto_reset`).
+    pub fn round(&mut self) -> bool {
+        osa_runtime::with_current(|pool| self.round_with_pool(pool))
+    }
+
+    /// [`FleetEngine::round`] on an explicit pool.
+    pub fn round_with_pool(&mut self, pool: &ThreadPool) -> bool {
+        let lanes = pool.workers();
+        let rebuild = match &self.lanes {
+            Some(slots) => slots.len() != lanes,
+            None => true,
+        };
+        if rebuild {
+            let (replicas, shard) = (self.replicas, self.shard);
+            self.lanes = Some(LaneSlots::new(lanes, |_| LaneScratch::new(replicas, shard)));
+        }
+
+        // Phase 1 — parallel: each lane decides its contiguous session
+        // range in shard-sized batches, writing only its own slots.
+        {
+            let FleetEngine {
+                sim,
+                actor,
+                critic,
+                replicas,
+                keep,
+                signal,
+                monitors,
+                slots,
+                lanes,
+                shard,
+                ..
+            } = self;
+            let lanes = lanes.as_ref().expect("lane scratch built above");
+            let (replicas, keep, shard) = (*replicas, *keep, *shard);
+            let sim = &*sim;
+            let monitors = &*monitors;
+            pool.parallel_for_slice(slots, 1, |lane, first, chunk| {
+                let mut guard = lanes.borrow(lane);
+                let scratch = &mut *guard;
+                let mut off = 0;
+                while off < chunk.len() {
+                    let b = (chunk.len() - off).min(shard);
+                    decide_shard(
+                        sim,
+                        monitors,
+                        actor,
+                        critic,
+                        signal,
+                        replicas,
+                        keep,
+                        first + off,
+                        &mut chunk[off..off + b],
+                        scratch,
+                    );
+                    off += b;
+                }
+            });
+        }
+
+        // Phase 2 — serial, in session order: monitors, action pick,
+        // simulator step.
+        let n = self.len();
+        for i in 0..n {
+            if !self.sim.active(i) {
+                self.actions[i] = 0;
+                continue;
+            }
+            if self.monitors.observing(i) {
+                self.monitors.update(i, self.slots[i].raw);
+            }
+            self.actions[i] = if self.monitors.tripped(i) {
+                // Same rounding as `BufferFallback`: the observation
+                // stores buffer/10 as f32, the policy reads it ×10 in
+                // f64 — replicated exactly so fleet and per-session
+                // agents pick identical levels at the thresholds.
+                let buf_obs = (self.sim.buffer_s(i) / 10.0) as f32;
+                self.bb.level_for_buffer(buf_obs as f64 * 10.0)
+            } else {
+                self.slots[i].learned as usize
+            };
+        }
+        self.sim.step_all_with_pool(&self.actions, pool);
+        self.rounds += 1;
+
+        if self.auto_reset {
+            // A finished video is a session boundary: the slot rolls
+            // onto its next trace with fresh safety state, like a new
+            // viewer arriving.
+            for i in 0..n {
+                let c = self.sim.sessions_completed(i);
+                if c != self.completed_seen[i] {
+                    self.completed_seen[i] = c;
+                    self.monitors.reset_session(i);
+                    self.slots[i].reset_signal();
+                }
+            }
+        }
+        !self.sim.all_done()
+    }
+
+    /// Run up to `max_rounds` rounds (stops early once all sessions
+    /// finish, which never happens with `auto_reset`). Returns the
+    /// number of rounds taken.
+    pub fn run(&mut self, max_rounds: usize) -> usize {
+        let mut taken = 0;
+        while taken < max_rounds {
+            let more = self.round();
+            taken += 1;
+            if !more {
+                break;
+            }
+        }
+        taken
+    }
+
+    /// Aggregate the fleet's lifetime accounting. Allocates (sorts the
+    /// per-session QoE distribution) — call between runs, not per round.
+    pub fn telemetry(&self) -> FleetTelemetry {
+        let n = self.len();
+        let mut qoe_sum = 0.0f64;
+        let mut rebuf_sum = 0.0f64;
+        let mut chunks = 0u64;
+        let mut switched = 0usize;
+        let mut recovered = 0usize;
+        let mut locked = 0usize;
+        let mut total_switches = 0u64;
+        let mut total_recoveries = 0u64;
+        let mut first_switch_sum = 0.0f64;
+        let mut qoe: Vec<f64> = Vec::with_capacity(n);
+        for i in 0..n {
+            qoe_sum += self.sim.qoe_total(i);
+            rebuf_sum += self.sim.rebuffer_total(i);
+            chunks += self.sim.chunks_total(i);
+            qoe.push(self.sim.qoe_total(i));
+            let s = self.monitors.switches(i);
+            let r = self.monitors.recoveries(i);
+            total_switches += s as u64;
+            total_recoveries += r as u64;
+            if s > 0 {
+                switched += 1;
+            }
+            if r > 0 {
+                recovered += 1;
+            }
+            if self.monitors.locked(i) {
+                locked += 1;
+            }
+            if let Some(t) = self.monitors.tripped_at(i) {
+                first_switch_sum += t as f64;
+            }
+        }
+        qoe.sort_unstable_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            if qoe.is_empty() {
+                return 0.0;
+            }
+            let idx = ((qoe.len() - 1) as f64 * p).round() as usize;
+            qoe[idx]
+        };
+        FleetTelemetry {
+            sessions: n,
+            rounds: self.rounds,
+            decisions: chunks,
+            mean_qoe_per_chunk: if chunks > 0 {
+                qoe_sum / chunks as f64
+            } else {
+                0.0
+            },
+            mean_rebuffer_s: rebuf_sum / n.max(1) as f64,
+            qoe_p10: pct(0.10),
+            qoe_p50: pct(0.50),
+            qoe_p90: pct(0.90),
+            switched_sessions: switched,
+            recovered_sessions: recovered,
+            locked_sessions: locked,
+            total_switches,
+            total_recoveries,
+            switch_rate: switched as f64 / n.max(1) as f64,
+            recovery_rate: if switched > 0 {
+                recovered as f64 / switched as f64
+            } else {
+                0.0
+            },
+            mean_first_switch: if switched > 0 {
+                first_switch_sum / switched as f64
+            } else {
+                -1.0
+            },
+        }
+    }
+}
+
+/// Decide one shard: batched stacked forwards plus per-session signal
+/// scalars, writing into `slots` (sessions `first .. first +
+/// slots.len()`). Pure with respect to everything but `slots` and
+/// `scratch` — the parallel-phase contract.
+#[allow(clippy::too_many_arguments)] // the destructured engine, flattened on purpose
+fn decide_shard(
+    sim: &MultiSession,
+    monitors: &FleetMonitors,
+    actor: &StackedNet,
+    critic: &StackedNet,
+    signal: &FleetSignal,
+    replicas: usize,
+    keep: usize,
+    first: usize,
+    slots: &mut [SessionSlot],
+    scratch: &mut LaneScratch,
+) {
+    let b = slots.len();
+    sim.fill_observations_range(first, b, &mut scratch.x);
+
+    // Learned action: one grouped actor GEMM per layer for the whole
+    // shard, rows replica-major (`row = r·b + s`), then the same
+    // softmax → mean-over-replicas → argmax as `PensieveEnsemble::act`.
+    actor.forward_into(&scratch.x, &mut scratch.ws, &mut scratch.logits);
+    scratch.probs.resize_shape(replicas * b, NUM_BITRATES);
+    for row in 0..replicas * b {
+        softmax_row(scratch.logits.row(row), scratch.probs.row_mut(row));
+    }
+    for (s_i, slot) in slots.iter_mut().enumerate() {
+        for (j, m) in scratch.mean.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            for r in 0..replicas {
+                sum += scratch.probs.get(r * b + s_i, j);
+            }
+            *m = sum / replicas as f32;
+        }
+        let mut best = 0;
+        for (j, &p) in scratch.mean.iter().enumerate() {
+            if p > scratch.mean[best] {
+                best = j;
+            }
+        }
+        slot.learned = best as u8;
+    }
+
+    // Raw signal values.
+    match signal {
+        FleetSignal::Null => {
+            for slot in slots.iter_mut() {
+                slot.raw = 0.0;
+            }
+        }
+        FleetSignal::ValueDisagreement => {
+            critic.forward_into(&scratch.x, &mut scratch.ws, &mut scratch.values);
+            for (s_i, slot) in slots.iter_mut().enumerate() {
+                let mut mean = 0.0f32;
+                for r in 0..replicas {
+                    mean += scratch.values.get(r * b + s_i, 0);
+                }
+                mean /= replicas as f32;
+                scratch.devs.clear();
+                for r in 0..replicas {
+                    scratch
+                        .devs
+                        .push((scratch.values.get(r * b + s_i, 0) - mean).abs());
+                }
+                slot.raw = trimmed_mean(&mut scratch.devs, keep);
+            }
+        }
+        FleetSignal::Novelty(svm) => {
+            for (s_i, slot) in slots.iter_mut().enumerate() {
+                let i = first + s_i;
+                // A sticky (or locked) fallback stops observing — its
+                // feature window freezes, exactly like the scalar
+                // `NoveltySignal` behind a tripped monitor.
+                if !monitors.observing(i) {
+                    continue;
+                }
+                let tput = scratch.x.get(s_i, HISTORY_LEN - 1) * 10.0;
+                slot.fw.push(tput);
+                if slot.fw.ready() {
+                    slot.fw.write(&mut scratch.feat);
+                    slot.raw = svm.score(&scratch.feat);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_monitor_matches_scalar_monitor_bit_for_bit() {
+        // Shared raw streams through both implementations, sticky and
+        // reverse, including post-recovery re-trips.
+        let reverse = ReverseConfig::new(2, 3);
+        for rev in [None, Some(reverse)] {
+            let cfg = ServeConfig {
+                k: 3,
+                alpha: 0.4,
+                l: 2,
+                reverse: rev,
+                ..ServeConfig::default()
+            };
+            let mut fleet = FleetMonitors::new(2, &cfg);
+            let mut scalar = match rev {
+                Some(r) => crate::Monitor::with_reverse(3, 0.4, 2, r),
+                None => crate::Monitor::new(3, 0.4, 2),
+            };
+            // A stream that trips, quiets, and trips again.
+            let stream = [
+                0.1f32, 0.2, 0.1, 5.0, 0.1, 6.0, 0.2, 0.1, 0.1, 0.1, 0.1, 7.0, 0.1, 8.0, 0.1, 0.1,
+                0.1, 0.1,
+            ];
+            for &raw in &stream {
+                let expect = if scalar.observing() {
+                    scalar.update(raw)
+                } else {
+                    scalar.tripped()
+                };
+                let got = if fleet.observing(0) {
+                    fleet.update(0, raw)
+                } else {
+                    fleet.tripped(0)
+                };
+                assert_eq!(got, expect, "tripped state diverged (reverse={rev:?})");
+                assert_eq!(
+                    fleet.variance(0).to_bits(),
+                    scalar.variance().to_bits(),
+                    "variance bits diverged (reverse={rev:?})"
+                );
+            }
+            assert_eq!(fleet.switches(0), scalar.switches());
+            assert_eq!(fleet.recoveries(0), scalar.recoveries());
+            assert_eq!(fleet.tripped_at(0), scalar.tripped_at());
+            assert_eq!(fleet.last_trip(0), scalar.last_trip());
+            assert_eq!(fleet.last_recovery(0), scalar.last_recovery());
+            assert_eq!(fleet.locked(0), scalar.locked());
+            // Session 1 was never touched.
+            assert_eq!(fleet.switches(1), 0);
+            assert_eq!(fleet.decisions(1), 0);
+        }
+    }
+
+    #[test]
+    fn session_reset_keeps_lifetime_counters() {
+        let cfg = ServeConfig {
+            k: 2,
+            alpha: 0.1,
+            l: 1,
+            ..ServeConfig::default()
+        };
+        let mut m = FleetMonitors::new(1, &cfg);
+        m.update(0, 0.0);
+        assert!(m.update(0, 9.0));
+        assert_eq!(m.switches(0), 1);
+        m.reset_session(0);
+        assert!(!m.tripped(0));
+        assert_eq!(m.tripped_at(0), None);
+        assert_eq!(m.switches(0), 1, "lifetime switch count survives");
+        assert_eq!(m.decisions(0), 2, "lifetime decision count survives");
+    }
+}

@@ -131,7 +131,8 @@ fn main() {
     );
     std::fs::create_dir_all(std::path::Path::new(path).parent().unwrap())
         .expect("create artifacts/");
-    std::fs::write(path, PensieveEnsemble::agents_to_json(&agents)).expect("write artifact");
+    let doc = PensieveEnsemble::agents_to_json(&agents).expect("replica docs serialize");
+    std::fs::write(path, doc).expect("write artifact");
     println!(
         "\nensemble written to artifacts/pensieve_ensemble_norway.json ({:.2?})",
         start.elapsed()
