@@ -120,6 +120,11 @@ fn main() {
         ("video", Value::Str("envivio-synthetic".into())),
         ("dataset", Value::Str("norway".into())),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        (
+            "kernel_variant",
+            Value::Str(osa_bench::kernel_variant().into()),
+        ),
+        ("target_cpu", Value::Str(osa_bench::target_cpu().into())),
         ("results", Value::Arr(results)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_abr.json");

@@ -140,6 +140,11 @@ fn main() {
         ("env", Value::Str("chain-8".into())),
         ("hidden", Value::Num(HIDDEN as f64)),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        (
+            "kernel_variant",
+            Value::Str(osa_bench::kernel_variant().into()),
+        ),
+        ("target_cpu", Value::Str(osa_bench::target_cpu().into())),
         ("results", Value::Arr(results)),
         ("thread_scaling", Value::Arr(thread_scaling)),
         (

@@ -26,10 +26,13 @@
 //! through reusable buffers — so after warmup the steady state performs
 //! no heap allocation (visible in the `allocs_per_iter` column).
 
+use osa_abr::OBS_DIM;
 use osa_bench::{counting_alloc::CountingAlloc, hardware_threads, run_bench, BenchStats};
 use osa_nn::json::{obj, Value};
 use osa_nn::prelude::*;
+use osa_nn::stacked::StackedNet;
 use osa_nn::tensor::Act;
+use osa_pensieve::{PensieveAgent, PensieveConfig};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -239,6 +242,72 @@ fn main() {
     });
     results.push(with_mflops(&stats, 3.0 * actor.forward_flops(32)));
 
+    // Serving shape: the 5-replica paper-scale ensemble actor as one
+    // stacked grouped GEMM over a batch of 32 sessions — what a fleet
+    // shard pays per round (`core::serve` decides session-major batches
+    // through exactly this forward).
+    let replicas = 5;
+    let agents: Vec<PensieveAgent> = (0..replicas)
+        .map(|_| PensieveAgent::new(PensieveConfig::paper(), &mut rng))
+        .collect();
+    let nets: Vec<_> = agents.iter().map(|a| &a.actor_critic().actor).collect();
+    let stacked = StackedNet::from_nets(&nets).expect("paper towers stack");
+    let mut sws = Workspace::new();
+    let obs32 = {
+        let data = (0..32 * OBS_DIM).map(|_| rng.range_f32(0.0, 1.0)).collect();
+        Tensor::from_vec(32, OBS_DIM, data)
+    };
+    let mut stacked_out = Tensor::zeros(0, 0);
+    let stats = run_bench("ensemble_forward_batch32", samples, || {
+        stacked.forward_into(&obs32, &mut sws, &mut stacked_out);
+        std::hint::black_box(&stacked_out);
+    });
+    // Dense-lowered FLOPs: the conv branches become one block-diagonal
+    // (OBS_DIM x merge_in) GEMM per replica in the stacked layout.
+    let stacked_flops = {
+        let cfg = PensieveConfig::paper();
+        let dims = [
+            (OBS_DIM, cfg.merge_in()),
+            (cfg.merge_in(), cfg.merge),
+            (cfg.merge, ACTIONS),
+        ];
+        let per_row: usize = dims.iter().map(|(k, n)| 2 * k * n).sum();
+        (replicas * 32 * per_row) as f64
+    };
+    results.push(with_mflops(&stats, stacked_flops));
+
+    // Quantized serving path: the same stacked ensemble served int8 —
+    // per-output-channel symmetric weights, activation scales calibrated
+    // on a held-out batch, i32 accumulate with an f32 dequant epilogue.
+    // Steady state must stay allocation-free, same as the f32 path.
+    let calib = {
+        let data = (0..64 * OBS_DIM).map(|_| rng.range_f32(0.0, 1.0)).collect();
+        Tensor::from_vec(64, OBS_DIM, data)
+    };
+    let qstacked = QuantStacked::from_stacked(&stacked, &calib, &mut sws);
+    let mut qscratch = QuantScratch::new();
+    let mut qout = Tensor::zeros(0, 0);
+    let stats = run_bench("ensemble_forward_batch32_int8", samples, || {
+        qstacked.forward_into(&obs32, &mut qscratch, &mut qout);
+        std::hint::black_box(&qout);
+    });
+    results.push(with_mflops(&stats, stacked_flops));
+
+    // Per-decision quantized inference: the single-replica dense-lowered
+    // actor at batch 1 — what a quantized per-session SafeAgent pays per
+    // chunk decision (int8 ops counted like FLOPs for comparability).
+    let single = StackedNet::from_nets(&[&agents[0].actor_critic().actor]).expect("tower stacks");
+    let qsingle = QuantStacked::from_stacked(&single, &calib, &mut sws);
+    let obs1 = {
+        let data = (0..OBS_DIM).map(|_| rng.range_f32(0.0, 1.0)).collect();
+        Tensor::from_vec(1, OBS_DIM, data)
+    };
+    let stats = run_bench("actor_forward_batch1_int8", samples, || {
+        qsingle.forward_into(&obs1, &mut qscratch, &mut qout);
+        std::hint::black_box(&qout);
+    });
+    results.push(with_mflops(&stats, stacked_flops / (replicas * 32) as f64));
+
     // Thread-scaling sweep: the same fwd+bwd workload pinned to explicit
     // pool widths 1..=thread_budget(). Outputs are bit-identical across
     // widths (the osa-runtime contract); only the latency may move. Under
@@ -267,6 +336,11 @@ fn main() {
         ("bench", Value::Str("nn_forward_backward".into())),
         ("seed", Value::Num(42.0)),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        (
+            "kernel_variant",
+            Value::Str(osa_bench::kernel_variant().into()),
+        ),
+        ("target_cpu", Value::Str(osa_bench::target_cpu().into())),
         ("results", Value::Arr(results)),
         ("thread_scaling", Value::Arr(thread_scaling)),
     ]);

@@ -6,7 +6,8 @@
 //! 1. **Gated round latency** — steady-state `FleetEngine::round` over
 //!    a fixed 256-session U_V-guarded fleet (constant work, so the
 //!    `bench_compare` 25% gate applies to its median and its
-//!    zero-allocation claim).
+//!    zero-allocation claim), on the f32 path and again on the int8
+//!    quantized serving path (`ServePrecision::Int8`).
 //! 2. **Fleet scale** — the same engine at `OSA_BENCH_FLEET` sessions
 //!    (default 100 000): p50/p99 round latency and the derived
 //!    per-decision latency. Informational, not gated — smoke runs
@@ -96,16 +97,23 @@ fn steady_engine(
     cfg: &AbrConfig,
     traces: &[Trace],
     n: usize,
+    precision: ServePrecision,
 ) -> FleetEngine {
     let serve = ServeConfig {
         alpha,
         reverse: Some(REVERSE),
         shard: 64,
         auto_reset: true,
+        precision,
         ..ServeConfig::default()
     };
+    let mut ens = owned_ensemble();
+    if precision == ServePrecision::Int8 {
+        let calib = calibration_observations(&mut ens, video, cfg, &traces[..4], 64);
+        ens.calibrate_int8(&calib);
+    }
     FleetEngine::new(
-        owned_ensemble(),
+        ens,
         FleetSignal::ValueDisagreement,
         video.clone(),
         cfg.clone(),
@@ -279,30 +287,50 @@ fn main() {
     let steady_traces = &split.test[..8];
     let mut results = Vec::new();
 
-    // 1. Gated: steady-state round latency, fixed-size fleet.
-    let mut engine = steady_engine(alpha, &video, &cfg, steady_traces, GATED_SESSIONS);
-    for _ in 0..4 {
-        engine.round(); // warm lane scratch before the harness warmup
-    }
-    let stats = run_bench("serve_round_256", samples, || {
-        std::hint::black_box(engine.round());
-    });
-    let decisions_per_sec = GATED_SESSIONS as f64 / (stats.median_ns as f64 * 1e-9);
-    println!("serve_round_256: {decisions_per_sec:>12.0} decisions/sec");
-    let mut entry = stats.to_json();
-    if let Value::Obj(map) = &mut entry {
-        map.insert("sessions".into(), Value::Num(GATED_SESSIONS as f64));
-        map.insert(
-            "decisions_per_sec".into(),
-            Value::Num(decisions_per_sec.round()),
+    // 1. Gated: steady-state round latency, fixed-size fleet — once on
+    //    the f32 path, once on the int8 quantized path.
+    for (name, precision) in [
+        ("serve_round_256", ServePrecision::F32),
+        ("serve_round_256_int8", ServePrecision::Int8),
+    ] {
+        let mut engine = steady_engine(
+            alpha,
+            &video,
+            &cfg,
+            steady_traces,
+            GATED_SESSIONS,
+            precision,
         );
+        for _ in 0..4 {
+            engine.round(); // warm lane scratch before the harness warmup
+        }
+        let stats = run_bench(name, samples, || {
+            std::hint::black_box(engine.round());
+        });
+        let decisions_per_sec = GATED_SESSIONS as f64 / (stats.median_ns as f64 * 1e-9);
+        println!("{name}: {decisions_per_sec:>12.0} decisions/sec");
+        let mut entry = stats.to_json();
+        if let Value::Obj(map) = &mut entry {
+            map.insert("sessions".into(), Value::Num(GATED_SESSIONS as f64));
+            map.insert(
+                "decisions_per_sec".into(),
+                Value::Num(decisions_per_sec.round()),
+            );
+        }
+        results.push(entry);
     }
-    results.push(entry);
 
     // 2. Fleet scale: p50/p99 round and per-decision latency at
     //    OSA_BENCH_FLEET sessions. Key names deliberately avoid the
     //    gated `_ns` suffix — fleet size is env-dependent.
-    let mut engine = steady_engine(alpha, &video, &cfg, steady_traces, fleet_n);
+    let mut engine = steady_engine(
+        alpha,
+        &video,
+        &cfg,
+        steady_traces,
+        fleet_n,
+        ServePrecision::F32,
+    );
     engine.round(); // warm-up: grows lane scratch + workspace
     engine.round();
     let mut round_ns: Vec<u64> = Vec::with_capacity(fleet_rounds);
@@ -366,6 +394,11 @@ fn main() {
         ("video", Value::Str("envivio-synthetic".into())),
         ("dataset", Value::Str("norway".into())),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        (
+            "kernel_variant",
+            Value::Str(osa_bench::kernel_variant().into()),
+        ),
+        ("target_cpu", Value::Str(osa_bench::target_cpu().into())),
         ("results", Value::Arr(results)),
     ]);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");

@@ -129,6 +129,11 @@ fn main() {
         ("traces_per_dataset", Value::Num(count as f64)),
         ("trace_len", Value::Num(TRACE_LEN as f64)),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        (
+            "kernel_variant",
+            Value::Str(osa_bench::kernel_variant().into()),
+        ),
+        ("target_cpu", Value::Str(osa_bench::target_cpu().into())),
         ("results", Value::Arr(results)),
         ("thread_scaling", Value::Arr(thread_scaling)),
     ]);

@@ -94,6 +94,11 @@ fn main() {
     let report = obj(vec![
         ("figure", Value::Str("table_runtime".into())),
         ("hardware_threads", Value::Num(hardware_threads() as f64)),
+        (
+            "kernel_variant",
+            Value::Str(osa_bench::kernel_variant().into()),
+        ),
+        ("target_cpu", Value::Str(osa_bench::target_cpu().into())),
         ("support_vectors", Value::Num(sv_count as f64)),
         ("replicas", Value::Num(ENSEMBLE_SIZE as f64)),
         ("rows", Value::Arr(rows)),

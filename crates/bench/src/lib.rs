@@ -124,6 +124,36 @@ pub fn hardware_threads() -> usize {
     osa_runtime::thread_budget()
 }
 
+/// The GEMM accumulation-order contract compiled into this binary —
+/// re-exported from [`osa_nn::tensor::kernel_variant`] so every
+/// `BENCH_*.json` records which kernel family produced its numbers.
+/// [`compare::check_comparable`] refuses to diff reports from different
+/// variants: a scalar-kernel baseline and a lane8 run time different
+/// code, and an int8 run times a different numeric contract entirely.
+pub fn kernel_variant() -> &'static str {
+    osa_nn::tensor::kernel_variant()
+}
+
+/// Effective SIMD target this binary was compiled for, from the
+/// compile-time target features (`.cargo/config.toml` sets
+/// `-C target-cpu=native`, so these reflect the build host). Coarse by
+/// design — the widest vector extension is what moves GEMM timings.
+pub fn target_cpu() -> &'static str {
+    if cfg!(target_feature = "avx512f") {
+        "avx512"
+    } else if cfg!(target_feature = "avx2") {
+        "avx2"
+    } else if cfg!(target_feature = "avx") {
+        "avx"
+    } else if cfg!(target_feature = "sse2") {
+        "sse2"
+    } else if cfg!(target_feature = "neon") {
+        "neon"
+    } else {
+        "generic"
+    }
+}
+
 /// Summary statistics of one [`run_bench`] series.
 pub struct BenchStats {
     pub name: String,
@@ -285,6 +315,36 @@ pub mod compare {
     /// [`check_comparable`] refuses instead.
     const THREAD_KEYS: [&str; 3] = ["hardware_threads", "pool_workers", "workers"];
 
+    /// JSON keys that describe the *compiled kernel* a report measured.
+    /// A baseline taken from scalar kernels and a current report from the
+    /// lane8 micro-kernels (or an int8 serving build) timed different
+    /// code under different accumulation contracts — their latencies are
+    /// not like-for-like, so [`check_comparable`] refuses the pair.
+    const VARIANT_KEYS: [&str; 2] = ["kernel_variant", "target_cpu"];
+
+    /// Collect every string value of the variant keys, per key, in
+    /// document order (sorted afterwards so entry order is irrelevant).
+    fn variant_fingerprint(doc: &Value, out: &mut BTreeMap<String, Vec<String>>) {
+        match doc {
+            Value::Obj(map) => {
+                for (key, child) in map {
+                    if let Value::Str(s) = child {
+                        if VARIANT_KEYS.contains(&key.as_str()) {
+                            out.entry(key.clone()).or_default().push(s.clone());
+                        }
+                    }
+                    variant_fingerprint(child, out);
+                }
+            }
+            Value::Arr(items) => {
+                for item in items {
+                    variant_fingerprint(item, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Collect every value of the thread-context keys, per key, in
     /// document order (sorted afterwards so entry order is irrelevant).
     fn thread_fingerprint(doc: &Value, out: &mut BTreeMap<String, Vec<u64>>) {
@@ -308,8 +368,9 @@ pub mod compare {
         }
     }
 
-    /// Refuse cross-thread-context comparisons: `Err` describes the first
-    /// `hardware_threads` / thread-count mismatch between the two
+    /// Refuse cross-context comparisons: `Err` describes the first
+    /// thread-budget (`hardware_threads` / thread-count) or kernel
+    /// (`kernel_variant` / `target_cpu`) mismatch between the two
     /// reports. This is a *refusal*, not a regression — `bench_compare`
     /// exits with a distinct code (3) and message for it.
     ///
@@ -333,6 +394,25 @@ pub mod compare {
                 return Err(format!(
                     "thread context differs: {key} is {b:?} in baseline but {c:?} in current \
                      report; re-run both under the same OSA_THREADS budget"
+                ));
+            }
+        }
+        let (mut base, mut cur) = (BTreeMap::new(), BTreeMap::new());
+        variant_fingerprint(baseline, &mut base);
+        variant_fingerprint(current, &mut cur);
+        for key in VARIANT_KEYS {
+            let (Some(b), Some(c)) = (base.get(key), cur.get(key)) else {
+                continue;
+            };
+            let (mut b, mut c) = (b.clone(), c.clone());
+            b.sort_unstable();
+            b.dedup();
+            c.sort_unstable();
+            c.dedup();
+            if b != c {
+                return Err(format!(
+                    "kernel context differs: {key} is {b:?} in baseline but {c:?} in current \
+                     report; regenerate the baseline with the current kernels before gating"
                 ));
             }
         }
@@ -562,6 +642,60 @@ mod tests {
         let cur = threaded_report(1.0, &[1.0]);
         assert!(compare::check_comparable(&base, &cur).is_ok());
         assert!(compare::check_comparable(&cur, &base).is_ok());
+    }
+
+    fn variant_report(variant: &str, cpu: &str) -> Value {
+        obj(vec![
+            ("bench", Value::Str("demo".into())),
+            ("kernel_variant", Value::Str(variant.into())),
+            ("target_cpu", Value::Str(cpu.into())),
+            (
+                "results",
+                Value::Arr(vec![obj(vec![
+                    ("name", Value::Str("kernel".into())),
+                    ("median_ns", Value::Num(1000.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn refuses_on_kernel_variant_mismatch() {
+        let base = variant_report("scalar", "avx512");
+        let cur = variant_report("lane8", "avx512");
+        let why = compare::check_comparable(&base, &cur).unwrap_err();
+        assert!(why.contains("kernel_variant"), "{why}");
+        assert!(why.contains("scalar") && why.contains("lane8"), "{why}");
+    }
+
+    #[test]
+    fn refuses_on_target_cpu_mismatch() {
+        let base = variant_report("lane8", "avx2");
+        let cur = variant_report("lane8", "avx512");
+        let why = compare::check_comparable(&base, &cur).unwrap_err();
+        assert!(why.contains("target_cpu"), "{why}");
+    }
+
+    #[test]
+    fn matching_kernel_context_stays_comparable() {
+        let base = variant_report("lane8", "avx512");
+        let cur = variant_report("lane8", "avx512");
+        assert!(compare::check_comparable(&base, &cur).is_ok());
+    }
+
+    /// A pre-variant baseline (no `kernel_variant` key) must stay
+    /// comparable — the field only refuses when both sides claim it.
+    #[test]
+    fn baseline_without_variant_keys_is_not_refused() {
+        let base = sample_report(1000.0, 0.0);
+        let cur = variant_report("lane8", "avx512");
+        assert!(compare::check_comparable(&base, &cur).is_ok());
+    }
+
+    #[test]
+    fn this_binary_reports_a_nonempty_kernel_context() {
+        assert_eq!(kernel_variant(), "lane8");
+        assert!(!target_cpu().is_empty());
     }
 
     #[test]

@@ -7,8 +7,10 @@ use osa_abr::policy::{BufferBased, RandomPolicy};
 use osa_abr::sim::{AbrConfig, SessionCursor};
 use osa_abr::video::VideoModel;
 use osa_abr::OBS_DIM;
+use osa_nn::tensor::Tensor;
 use osa_trace::Trace;
 
+use crate::ensemble::PensieveEnsemble;
 use crate::safe_agent::{SafeAgent, SafetyPolicy};
 use crate::signal::UncertaintySignal;
 
@@ -109,6 +111,41 @@ pub fn run_session_into<S, P, F>(
     out.switch_index = agent.switch_index();
     out.switches = agent.switches();
     out.recoveries = agent.recoveries();
+}
+
+/// Collect the observation rows the learned policy actually sees while
+/// streaming `traces` — the calibration set for
+/// [`PensieveEnsemble::calibrate_int8`]. Each trace is streamed end to
+/// end under the ensemble's own (f32) decisions, so the recorded
+/// distribution matches serving, and the first `max_per_trace`
+/// observations of each session are kept. Fully deterministic: same
+/// ensemble + traces → bit-identical rows, and therefore bit-identical
+/// calibrated activation scales.
+pub fn calibration_observations(
+    ens: &mut PensieveEnsemble,
+    video: &VideoModel,
+    cfg: &AbrConfig,
+    traces: &[Trace],
+    max_per_trace: usize,
+) -> Tensor {
+    assert!(!traces.is_empty(), "calibration needs traces");
+    assert!(max_per_trace >= 1, "max_per_trace must be >= 1");
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut obs = [0.0f32; OBS_DIM];
+    for trace in traces {
+        let mut cur = SessionCursor::new();
+        let mut kept = 0usize;
+        while !cur.done(video) {
+            cur.encode_obs(video, &mut obs);
+            if kept < max_per_trace {
+                rows.push(obs.to_vec());
+                kept += 1;
+            }
+            let level = ens.act(&obs[..]);
+            cur.step(video, cfg, trace, level);
+        }
+    }
+    Tensor::from_rows(&rows)
 }
 
 /// Aggregate of a safe agent over a trace set (one session per trace).

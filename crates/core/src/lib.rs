@@ -45,12 +45,12 @@ pub mod signal;
 
 pub use calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
 pub use ensemble::{
-    shared, PensieveEnsemble, PolicyDisagreement, SharedEnsemble, ValueDisagreement,
-    ENSEMBLE_FORMAT_VERSION,
+    shared, PensieveEnsemble, PolicyDisagreement, ServePrecision, SharedEnsemble,
+    ValueDisagreement, ENSEMBLE_FORMAT_VERSION,
 };
 pub use eval::{
-    anchors, evaluate_safe_agent, normalized, run_session, run_session_into, Anchors, SafeScore,
-    SessionRun,
+    anchors, calibration_observations, evaluate_safe_agent, normalized, run_session,
+    run_session_into, Anchors, SafeScore, SessionRun,
 };
 pub use monitor::{Monitor, ReverseConfig, DEFAULT_K};
 pub use safe_agent::{
@@ -73,12 +73,12 @@ pub const DEFAULT_L: usize = 3;
 pub mod prelude {
     pub use crate::calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
     pub use crate::ensemble::{
-        shared, PensieveEnsemble, PolicyDisagreement, SharedEnsemble, ValueDisagreement,
-        ENSEMBLE_FORMAT_VERSION,
+        shared, PensieveEnsemble, PolicyDisagreement, ServePrecision, SharedEnsemble,
+        ValueDisagreement, ENSEMBLE_FORMAT_VERSION,
     };
     pub use crate::eval::{
-        anchors, evaluate_safe_agent, normalized, run_session, run_session_into, Anchors,
-        SafeScore, SessionRun,
+        anchors, calibration_observations, evaluate_safe_agent, normalized, run_session,
+        run_session_into, Anchors, SafeScore, SessionRun,
     };
     pub use crate::monitor::{Monitor, ReverseConfig, DEFAULT_K};
     pub use crate::safe_agent::{

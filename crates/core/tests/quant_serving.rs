@@ -1,0 +1,298 @@
+//! Int8 serving fidelity, end to end: the quantized path must make the
+//! *same safety decisions* as the f32 path on the paper's two headline
+//! scenarios, and must stay bit-identical across worker counts.
+//!
+//! # Tolerance contract
+//!
+//! Quantization perturbs logits and values, so per-decision bits differ
+//! by design. What must NOT drift is the safety behavior:
+//!
+//! - **fig1 scenario (in-distribution Norway):** a calibrated U_V agent
+//!   never switches in f32; the int8 agent must not switch either —
+//!   zero spurious trips tolerated.
+//! - **fig2 scenario (shifted Belgium 4G):** every session the f32
+//!   agent trips, the int8 agent must also trip, and the first-switch
+//!   decision index must agree within ±2 decisions (one l-run of
+//!   exceedances can shift by at most the quantization noise crossing
+//!   the threshold one window earlier/later). Sessions quiet in f32
+//!   must stay quiet in int8.
+//!
+//! These bounds are asserted here and quoted in EXPERIMENTS.md — widen
+//! them only with a documented reason.
+//!
+//! # Determinism contract
+//!
+//! The int8 forward accumulates in i32, which is associative: fleet
+//! telemetry under `ServePrecision::Int8` is bit-identical across pools
+//! {1, 2, 4, 8} — the same guarantee the f32 lane8 fold-order contract
+//! buys, obtained for free from integer arithmetic.
+
+use osa_abr::prelude::*;
+use osa_core::prelude::*;
+use osa_runtime::{with_pool, ThreadPool};
+use osa_trace::prelude::*;
+
+const ARTIFACT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../artifacts/pensieve_ensemble_norway.json"
+);
+
+/// First-switch index agreement on tripped sessions (fig2), in
+/// decisions. One variance window of quantization noise either way.
+const SWITCH_INDEX_TOLERANCE: usize = 2;
+
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn artifact_text() -> String {
+    std::fs::read_to_string(ARTIFACT)
+        .expect("missing artifact — run `cargo run --release --example osap_ensemble_train`")
+}
+
+fn load_ensemble(text: &str) -> PensieveEnsemble {
+    PensieveEnsemble::from_json(text).expect("artifact parses")
+}
+
+/// Calibrate the int8 path exactly as production would: activation
+/// scales from the observations the f32 policy sees on the validation
+/// split.
+fn calibrated_int8(text: &str, video: &VideoModel, cfg: &AbrConfig) -> PensieveEnsemble {
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let mut ens = load_ensemble(text);
+    let calib = calibration_observations(&mut ens, video, cfg, &split.validation[..4], 64);
+    ens.calibrate_int8(&calib);
+    ens
+}
+
+/// U_V α calibrated on validation traces — shared by both precisions,
+/// like a deployed fleet.
+fn calibrated_alpha(text: &str, video: &VideoModel, cfg: &AbrConfig) -> f32 {
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let ens = shared(load_ensemble(text));
+    let mut agent = abr_safe_agent(
+        ens.clone(),
+        ValueDisagreement::new(ens),
+        Monitor::new(DEFAULT_K, f32::INFINITY, DEFAULT_L),
+    );
+    calibrate(
+        &mut agent,
+        video,
+        cfg,
+        &split.validation[..4],
+        DEFAULT_MARGIN,
+    )
+    .alpha
+}
+
+/// Per-trace (first_switch, switches) under a U_V safe agent at the
+/// given precision.
+fn scalar_switch_profile(
+    text: &str,
+    video: &VideoModel,
+    cfg: &AbrConfig,
+    traces: &[Trace],
+    alpha: f32,
+    precision: ServePrecision,
+) -> Vec<(Option<usize>, usize)> {
+    let mut ens = calibrated_int8(text, video, cfg);
+    ens.set_precision(precision).expect("calibrated above");
+    let ens = shared(ens);
+    let mut agent = abr_safe_agent(
+        ens.clone(),
+        ValueDisagreement::new(ens),
+        Monitor::new(DEFAULT_K, alpha, DEFAULT_L),
+    );
+    let mut out = Vec::with_capacity(traces.len());
+    let mut run = SessionRun::default();
+    for t in traces {
+        run_session_into(&mut agent, video, cfg, t, &mut run);
+        out.push((run.switch_index, run.switches));
+    }
+    out
+}
+
+#[test]
+fn int8_matches_f32_switch_decisions_on_fig1_and_fig2_scenarios() {
+    let text = artifact_text();
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    let alpha = calibrated_alpha(&text, &video, &cfg);
+
+    // fig1 scenario: in-distribution Norway test traces.
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let in_dist = &split.test[..5];
+    let f32_in = scalar_switch_profile(&text, &video, &cfg, in_dist, alpha, ServePrecision::F32);
+    let int8_in = scalar_switch_profile(&text, &video, &cfg, in_dist, alpha, ServePrecision::Int8);
+    for (i, (f, q)) in f32_in.iter().zip(&int8_in).enumerate() {
+        assert_eq!(
+            f.0, None,
+            "fig1 precondition: calibrated f32 agent switched on in-distribution trace {i}"
+        );
+        assert_eq!(
+            q.0, None,
+            "int8 agent spuriously switched on in-distribution trace {i} (f32 stayed quiet)"
+        );
+    }
+
+    // fig2 scenario: shifted Belgium 4G traces.
+    let shifted = Dataset::Belgium.generate(6, 400, 77);
+    let f32_sh = scalar_switch_profile(&text, &video, &cfg, &shifted, alpha, ServePrecision::F32);
+    let int8_sh = scalar_switch_profile(&text, &video, &cfg, &shifted, alpha, ServePrecision::Int8);
+    let tripped = f32_sh.iter().filter(|(s, _)| s.is_some()).count();
+    assert!(
+        tripped >= shifted.len() / 2,
+        "fig2 precondition: the shift must trip most f32 sessions (tripped {tripped}/{})",
+        shifted.len()
+    );
+    for (i, (f, q)) in f32_sh.iter().zip(&int8_sh).enumerate() {
+        match (f.0, q.0) {
+            (Some(fi), Some(qi)) => {
+                let delta = fi.abs_diff(qi);
+                assert!(
+                    delta <= SWITCH_INDEX_TOLERANCE,
+                    "shifted trace {i}: first switch moved {delta} decisions \
+                     (f32 @ {fi}, int8 @ {qi}, tolerance {SWITCH_INDEX_TOLERANCE})"
+                );
+            }
+            (None, None) => {}
+            (f, q) => panic!("shifted trace {i}: trip decision diverged (f32 {f:?}, int8 {q:?})"),
+        }
+    }
+}
+
+#[test]
+fn int8_fleet_telemetry_is_pool_invariant() {
+    let text = artifact_text();
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    let alpha = calibrated_alpha(&text, &video, &cfg);
+
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let mut traces: Vec<Trace> = split.test[..5].to_vec();
+    traces.extend(Dataset::Belgium.generate(3, 400, 77));
+
+    // 23 sessions: prime, so every pool width splits the fleet ragged;
+    // shard 7 forces sub-batching inside lanes.
+    let n = 23;
+    let rounds = 48;
+    let serve = ServeConfig {
+        alpha,
+        shard: 7,
+        auto_reset: true,
+        precision: ServePrecision::Int8,
+        ..ServeConfig::default()
+    };
+
+    let mut reference: Option<(usize, Vec<u64>)> = None;
+    for width in POOL_WIDTHS {
+        let pool = ThreadPool::new(width);
+        let bits = with_pool(&pool, || {
+            let mut fleet = FleetEngine::new(
+                calibrated_int8(&text, &video, &cfg),
+                FleetSignal::ValueDisagreement,
+                video.clone(),
+                cfg.clone(),
+                traces.clone(),
+                n,
+                &serve,
+            );
+            fleet.run(rounds);
+            let t = fleet.telemetry();
+            let mut bits: Vec<u64> = vec![
+                t.decisions,
+                t.mean_qoe_per_chunk.to_bits(),
+                t.qoe_p50.to_bits(),
+                t.switched_sessions as u64,
+                t.total_switches,
+                t.mean_first_switch.to_bits(),
+            ];
+            for i in 0..n {
+                bits.push(fleet.sim().qoe_total(i).to_bits());
+                bits.push(fleet.monitors().variance(i).to_bits() as u64);
+                bits.push(fleet.monitors().switches(i) as u64);
+            }
+            bits
+        });
+        match &reference {
+            None => reference = Some((width, bits)),
+            Some((w0, want)) => {
+                assert_eq!(
+                    &bits, want,
+                    "int8 serve telemetry: pool width {width} diverged from width {w0}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn int8_fleet_tracks_f32_fleet_switch_behavior() {
+    // The fleet engine's int8 dispatch must show the same fidelity as
+    // the scalar agent: identical trip/no-trip per session, first
+    // switch within tolerance.
+    let text = artifact_text();
+    let video = VideoModel::envivio();
+    let cfg = AbrConfig::default();
+    let alpha = calibrated_alpha(&text, &video, &cfg);
+
+    let split = Split::generate(Dataset::Norway, 60, 400, 2020);
+    let mut traces: Vec<Trace> = split.test[..4].to_vec();
+    traces.extend(Dataset::Belgium.generate(4, 400, 77));
+    let n = traces.len();
+
+    let profile = |precision: ServePrecision| -> Vec<(Option<usize>, usize)> {
+        let serve = ServeConfig {
+            alpha,
+            shard: 3,
+            precision,
+            ..ServeConfig::default()
+        };
+        let mut fleet = FleetEngine::new(
+            calibrated_int8(&text, &video, &cfg),
+            FleetSignal::ValueDisagreement,
+            video.clone(),
+            cfg.clone(),
+            traces.clone(),
+            n,
+            &serve,
+        );
+        while fleet.round() {}
+        (0..n)
+            .map(|i| (fleet.monitors().tripped_at(i), fleet.monitors().switches(i)))
+            .collect()
+    };
+
+    let f32_prof = profile(ServePrecision::F32);
+    let int8_prof = profile(ServePrecision::Int8);
+    let tripped = f32_prof.iter().filter(|(s, _)| s.is_some()).count();
+    assert!(tripped >= 2, "scenario must trip some sessions ({tripped})");
+    for (i, (f, q)) in f32_prof.iter().zip(&int8_prof).enumerate() {
+        match (f.0, q.0) {
+            (Some(fi), Some(qi)) => assert!(
+                fi.abs_diff(qi) <= SWITCH_INDEX_TOLERANCE,
+                "fleet session {i}: first switch f32 @ {fi} vs int8 @ {qi}"
+            ),
+            (None, None) => {}
+            (f, q) => panic!("fleet session {i}: trip diverged (f32 {f:?}, int8 {q:?})"),
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "calibrate_int8")]
+fn int8_serving_without_calibration_panics() {
+    let text = artifact_text();
+    let serve = ServeConfig {
+        precision: ServePrecision::Int8,
+        ..ServeConfig::default()
+    };
+    let traces = vec![Trace::new("flat", 1.0, vec![3.0; 300])];
+    let _ = FleetEngine::new(
+        load_ensemble(&text), // never calibrated
+        FleetSignal::Null,
+        VideoModel::envivio(),
+        AbrConfig::default(),
+        traces,
+        1,
+        &serve,
+    );
+}

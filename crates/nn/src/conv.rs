@@ -148,41 +148,75 @@ impl Layer for Conv1d {
         let (k, l) = (self.kernel, self.length);
         let (in_ch, out_ch, out_dim) = (self.in_channels, self.out_channels, self.out_dim());
         let rows = input.rows();
-        // Every element of the scratch buffer is written below.
-        let mut out = ws.take(rows, out_dim);
-        let (w, b, act) = (&self.w, &self.b, self.act);
-        // One output row per input row, independent of every other row —
-        // sharded across the batch dimension through the same
-        // deterministic dispatch as the GEMM kernels (`par_rows`): each
-        // row is produced by exactly one lane with identical arithmetic,
-        // so results are bit-identical for any worker count.
-        let run_rows = |r0: std::ops::Range<usize>, orows: &mut [f32]| {
-            for (dr, orow) in orows.chunks_exact_mut(out_dim).enumerate() {
-                let x = input.row(r0.start + dr);
-                for oc in 0..out_ch {
-                    let wrow = w.row(oc);
-                    let bias = b.get(0, oc);
-                    for t in 0..out_len {
-                        let mut acc = bias;
+        let patch = in_ch * k;
+        // Tiny batches (the per-chunk decision path) skip the im2row
+        // staging below and dot each receptive field directly — the same
+        // product enumeration through the same lane-fold primitive, so
+        // the bits are identical to the GEMM route.
+        if rows < crate::tensor::PACK_MIN_ROWS {
+            let mut out = ws.take(rows, out_dim);
+            let mut gather = ws.take(1, patch);
+            for r in 0..rows {
+                let x = input.row(r);
+                let orow = out.row_mut(r);
+                for t in 0..out_len {
+                    let field: &[f32] = if in_ch == 1 {
+                        &x[t..t + k]
+                    } else {
+                        let g = gather.row_mut(0);
                         for ic in 0..in_ch {
-                            let xw = &x[ic * l + t..ic * l + t + k];
-                            let ww = &wrow[ic * k..(ic + 1) * k];
-                            for (&xv, &wv) in xw.iter().zip(ww) {
-                                acc += xv * wv;
-                            }
+                            g[ic * k..(ic + 1) * k].copy_from_slice(&x[ic * l + t..ic * l + t + k]);
                         }
-                        orow[oc * out_len + t] = act.apply(acc);
+                        gather.row(0)
+                    };
+                    for oc in 0..out_ch {
+                        let acc = crate::tensor::dot_lane8(field, self.w.row(oc));
+                        orow[oc * out_len + t] = self.act.apply(acc + self.b.get(0, oc));
                     }
                 }
             }
-        };
-        crate::tensor::par_rows(
-            out.data_mut(),
-            rows,
-            out_dim,
-            rows * out_ch * out_len * in_ch * k,
-            run_rows,
-        );
+            ws.recycle(gather);
+            cache_slot(&mut self.cached_input, input);
+            if self.act != Act::Identity {
+                cache_slot(&mut self.cached_output, &out);
+            }
+            return out;
+        }
+        // im2row: one row per (batch row, output position) holding the
+        // receptive field `[x[ic·l+t .. +k] for ic]`, so the convolution
+        // becomes `X̃ · Wᵀ` through the shared lane8 GEMM — the whole
+        // tree has exactly one accumulation order (see `tensor::KLANES`),
+        // and batch sharding/threading is inherited from the kernel.
+        let m = rows * out_len;
+        let mut xim = ws.take(m, patch);
+        for r in 0..rows {
+            let x = input.row(r);
+            for t in 0..out_len {
+                let dst = xim.row_mut(r * out_len + t);
+                for ic in 0..in_ch {
+                    dst[ic * k..(ic + 1) * k].copy_from_slice(&x[ic * l + t..ic * l + t + k]);
+                }
+            }
+        }
+        let mut prod = ws.take(m, out_ch);
+        xim.matmul_t_into(&self.w, &mut prod);
+        // Scatter epilogue: GEMM rows are time-major `(t, oc)` while the
+        // flattened layout is channel-major `oc·out_len + t`; bias and
+        // activation are fused into the same pass. Every element of the
+        // scratch output is written here.
+        let mut out = ws.take(rows, out_dim);
+        let (b, act) = (&self.b, self.act);
+        for r in 0..rows {
+            let orow = out.row_mut(r);
+            for t in 0..out_len {
+                let prow = prod.row(r * out_len + t);
+                for (oc, (&pv, &bv)) in prow.iter().zip(b.data()).enumerate() {
+                    orow[oc * out_len + t] = act.apply(pv + bv);
+                }
+            }
+        }
+        ws.recycle(prod);
+        ws.recycle(xim);
         cache_slot(&mut self.cached_input, input);
         if self.act != Act::Identity {
             cache_slot(&mut self.cached_output, &out);
@@ -327,6 +361,29 @@ mod tests {
         let y = c.forward(&Tensor::from_rows(&[vec![4.0, 5.0, 6.0]]));
         assert_eq!(y.data(), &[32.0]);
         assert_eq!(c.out_len(), 1);
+    }
+
+    /// The tiny-batch direct path and the im2row GEMM path are the same
+    /// lane-fold arithmetic: running rows one at a time must reproduce
+    /// the batched result bit-for-bit.
+    #[test]
+    fn direct_and_im2row_paths_are_bit_identical() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut c = Conv1d::new(3, 9, 7, 4, Init::HeUniform, &mut rng).with_act(Act::Relu);
+        let x: Vec<Vec<f32>> = (0..6)
+            .map(|r| {
+                (0..27)
+                    .map(|i| ((r * 31 + i * 17) % 23) as f32 / 7.0 - 1.5)
+                    .collect()
+            })
+            .collect();
+        let batched = c.forward(&Tensor::from_rows(&x));
+        for (r, row) in x.iter().enumerate() {
+            let single = c.forward(&Tensor::from_rows(std::slice::from_ref(row)));
+            for (a, b) in single.data().iter().zip(batched.row(r)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+            }
+        }
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod layer;
 pub mod loss;
 pub mod net;
 pub mod optim;
+pub mod quant;
 pub mod rng;
 pub mod serialize;
 pub mod stacked;
@@ -93,6 +94,7 @@ pub mod prelude {
     pub use crate::loss;
     pub use crate::net::Sequential;
     pub use crate::optim::{Adam, Optimizer, RmsProp, Sgd};
+    pub use crate::quant::{QuantScratch, QuantStacked};
     pub use crate::rng::Rng;
     pub use crate::serialize::{LayerSpec, LoadError, NetSpec};
     pub use crate::stacked::{StackError, StackedNet};

@@ -73,15 +73,17 @@ impl std::error::Error for StackError {}
 
 /// One lowered layer: every replica's dense-equivalent weights stacked
 /// row-wise, plus per-replica bias rows and the shared activation.
-struct StackedLayer {
-    in_dim: usize,
-    out_dim: usize,
+/// `pub(crate)` so `crate::quant` can calibrate and quantize from the
+/// lowered form.
+pub(crate) struct StackedLayer {
+    pub(crate) in_dim: usize,
+    pub(crate) out_dim: usize,
     /// `(replicas·in_dim) × out_dim`; replica `r` owns rows
     /// `[r·in_dim, (r+1)·in_dim)`.
-    w: Tensor,
+    pub(crate) w: Tensor,
     /// `replicas × out_dim`.
-    b: Tensor,
-    act: Act,
+    pub(crate) b: Tensor,
+    pub(crate) act: Act,
 }
 
 /// An ensemble of `R` identical-architecture feed-forward networks
@@ -246,6 +248,10 @@ impl StackedNet {
         self.replicas
     }
 
+    pub(crate) fn layers_internal(&self) -> &[StackedLayer] {
+        &self.layers
+    }
+
     pub fn in_dim(&self) -> usize {
         self.layers[0].in_dim
     }
@@ -283,7 +289,7 @@ impl StackedNet {
 impl StackedLayer {
     /// `out = act(x · W_rep + b_rep)` for every stacked row, in one
     /// grouped dispatch; `x` is `(R·batch) × in_dim` replica-major.
-    fn forward(&self, batch: usize, x: &Tensor, out: &mut Tensor) {
+    pub(crate) fn forward(&self, batch: usize, x: &Tensor, out: &mut Tensor) {
         let r = self.w.rows() / self.in_dim;
         debug_assert_eq!(x.rows(), r * batch);
         let (k, n) = (self.in_dim, self.out_dim);

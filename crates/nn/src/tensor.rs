@@ -27,16 +27,88 @@ impl Act {
     }
 }
 
-/// Row-block size of the [`Tensor::matmul_into`] kernel: four rows of the
-/// left operand are streamed together so every row of the right operand
-/// loaded from memory is reused four times from registers.
-const MR: usize = 4;
+/// Number of interleaved accumulation lanes in the canonical fold order —
+/// the SIMD width the kernels are written for (eight `f32`, one AVX/AVX2
+/// register; two SSE registers; half an AVX-512 register).
+///
+/// # The fixed 8-lane fold order (kernel contract)
+///
+/// Every dot product of length `k` in this crate — `matmul_into`,
+/// `tmatmul_into`, `matmul_t_into`, the fused bias+act epilogues, the
+/// stacked ensemble GEMM, and the Conv1d im2row path — accumulates in
+/// exactly this order and no other:
+///
+/// 1. **Lane assignment.** Partial product `p` (ascending, `0..k`)
+///    accumulates into lane `p % KLANES`; each lane starts at `+0.0` and
+///    adds its products in ascending `p`.
+/// 2. **Fold tree.** The eight lanes reduce with the fixed pairwise tree
+///    `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))` — see [`fold8`].
+///
+/// The bits of the result depend *only* on this lane assignment and fold
+/// tree, never on blocking: row tiles ([`MR`]), column panels ([`NR`]),
+/// panel packing, column-block widths ([`NB`]), and path selection are
+/// free to change (even per-architecture) without changing a single
+/// output bit, which is what keeps results bit-identical at any
+/// `OSA_THREADS` and lets autovectorization run at full SIMD width.
+/// (The previous contract pinned a single ascending-`k` accumulator,
+/// which serializes the reduction behind one add-latency chain and
+/// forbids vectorizing the `k` axis.)
+///
+/// Skipping products where `a[i,p] == 0.0` is bit-neutral under this
+/// contract for finite `b`: lanes start at `+0.0`, a zero `x` contributes
+/// `±0.0`, IEEE-754 addition never turns a running lane into `-0.0`
+/// (`+0.0 + -0.0 == +0.0`, and `x + (-x) == +0.0`), so adding or
+/// skipping the term produces identical bits. The streaming path uses
+/// this to skip zero activations (about half of all post-ReLU inputs).
+pub const KLANES: usize = 8;
 
-/// Column-tile width of the register micro-kernel: `MR × NR` running sums
-/// (4 × 8 = 32 `f32`, eight SSE registers) stay resident across the whole
-/// `k` loop, leaving room for the streamed `b` tile and broadcasts even
-/// on baseline x86-64 without AVX.
+/// Row-block size of the packed-panel micro-kernel: two rows of the left
+/// operand stream together so each packed `b` panel row loaded from
+/// cache feeds two output rows. Blocking only — does not affect bits.
+const MR: usize = 2;
+
+/// Column-panel width of the micro-kernel and of packed B panels. An
+/// `MR × NR × KLANES` accumulator block is 2 × 8 × 8 running sums — 16
+/// 8-wide registers, within the 32 vector registers of AVX-512VL and
+/// spilling mildly on 16-register AVX2. Blocking only — never bits.
 const NR: usize = 8;
+
+/// Column-block width of the streaming (large-`k`) path's lane-buffer
+/// accumulator: `KLANES × NB` f32 = 8 KiB, L1-resident. Blocking only.
+const NB: usize = 256;
+
+/// Reduction length at which the kernels switch from the packed-panel
+/// path (B panel of `k × NR` stays cache-resident across all rows) to
+/// the streaming path (B streamed once per row in `p`-major order with
+/// the zero-activation skip). Path choice never affects bits.
+const STREAM_MIN_K: usize = 768;
+
+/// Row count below which the large-`k` streaming path is preferred over
+/// packed panels: the streaming path re-reads all of `b` once per row,
+/// so it only wins for a handful of rows (the batch-1 decision path),
+/// where it replaces the pack pass entirely and skips zero activations
+/// (same arithmetic, same bits). Also used by `Conv1d` to route tiny
+/// batches straight through [`dot_lane8`] instead of im2row + GEMM.
+pub(crate) const PACK_MIN_ROWS: usize = 4;
+
+/// `f32`s in one 64-byte cache line — packed panels are aligned to this.
+const CACHE_LINE_F32S: usize = 16;
+
+/// The fixed lane-fold tree of the kernel contract (see [`KLANES`]):
+/// `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`, evaluated exactly as
+/// parenthesized.
+#[inline(always)]
+pub fn fold8(l: [f32; KLANES]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Identifier of the accumulation-order contract the compiled kernels
+/// implement. Recorded in every bench report; `bench_compare` refuses to
+/// compare reports from different kernel variants (timings from
+/// different accumulation contracts are not like-for-like).
+pub fn kernel_variant() -> &'static str {
+    "lane8"
+}
 
 /// Dense row-major `f32` matrix. 1-D vectors are `(1 × n)`.
 /// `Default` is the empty `(0 × 0)` tensor.
@@ -167,12 +239,15 @@ impl Tensor {
     /// In-place matrix product `out = self · other`, reshaping `out` to
     /// `(m,n)` without reallocating when its buffer already has capacity.
     ///
-    /// The kernel is register-blocked: [`MR`] rows of `self` are processed
-    /// together, so each row of `other` streamed from memory feeds `MR`
-    /// output rows held in cache. Every output element still accumulates
-    /// its `k` products in ascending order, which keeps the result
-    /// bit-identical to the naive i-k-j loop (pinned by
-    /// `tests/kernels.rs`).
+    /// Every output element accumulates its `k` products in the fixed
+    /// 8-lane fold order (see [`KLANES`]), so results are bit-identical
+    /// across row sharding, panel packing, and path selection — pinned
+    /// against a naive lane-fold reference by `tests/kernels.rs`. For
+    /// moderate `k` the kernel packs `NR`-wide column panels of `other`
+    /// into a cache-aligned per-thread [`Workspace`] arena and runs an
+    /// [`MR`]`×`[`NR`] register micro-kernel over them; for large `k` it
+    /// streams `other` once per row through an L1-resident lane buffer,
+    /// skipping zero activations (bit-neutral, see [`KLANES`]).
     pub fn matmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.rows,
@@ -220,9 +295,9 @@ impl Tensor {
     ///
     /// Tiled into [`MR`]`×`[`NR`] register blocks like
     /// [`Tensor::matmul_into`]; because the left operand is stored
-    /// `(k × m)`, the four `x` values each `k` step needs are one
-    /// contiguous load. Per-element accumulation stays in ascending-`k`
-    /// order, matching the naive loop bit-for-bit.
+    /// `(k × m)`, the `MR` `x` values each `k` step needs are one
+    /// contiguous load. Accumulation follows the fixed 8-lane fold order
+    /// (see [`KLANES`]), matching the other kernels bit-for-bit.
     pub fn tmatmul_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.rows, other.rows,
@@ -248,11 +323,11 @@ impl Tensor {
     /// In-place `out = self · otherᵀ`, reshaping `out` without
     /// reallocating when possible.
     ///
-    /// Blocked over output columns: [`MR`] rows of `other` are dotted
-    /// against one streamed row of `self` per sweep, reusing each loaded
-    /// `self` element four times. Each dot product keeps a single
-    /// accumulator walked in ascending-`k` order, so results are
-    /// bit-identical to the naive loop.
+    /// Both operands are contiguous along `k`, so each dot runs all
+    /// eight lanes as one vector accumulator, blocked four `other` rows
+    /// at a time to reuse the streamed `self` row. Accumulation follows
+    /// the fixed 8-lane fold order (see [`KLANES`]), bit-identical to
+    /// staging `otherᵀ` and calling [`Tensor::matmul_into`].
     pub fn matmul_t_into(&self, other: &Tensor, out: &mut Tensor) {
         assert_eq!(
             self.cols, other.cols,
@@ -340,10 +415,10 @@ impl Tensor {
     /// without reallocating when capacity suffices.
     ///
     /// Pure data movement — `Dense::backward_ws` stages `wᵀ` through a
-    /// workspace buffer this way so the input-gradient product can run on
-    /// the vectorizable [`Tensor::matmul_into`] kernel instead of the
-    /// serial-dot [`Tensor::matmul_t_into`]; per-element accumulation
-    /// order (ascending `k`) is unchanged, so results stay bit-identical.
+    /// workspace buffer this way so the input-gradient product can reuse
+    /// the packed-panel [`Tensor::matmul_into`] kernel; both kernels
+    /// accumulate in the fixed 8-lane fold order (see [`KLANES`]), so
+    /// staging the transpose does not change a single output bit.
     pub fn transpose_into(&self, out: &mut Tensor) {
         out.resize_shape(self.cols, self.rows);
         let (rows, cols) = (self.rows, self.cols);
@@ -509,25 +584,181 @@ pub(crate) fn par_rows(
     }
 }
 
-/// Register-blocked GEMM core over output rows `rows`:
-/// `o = a[rows×k] · b[k×n]`, where `o` holds exactly those rows.
+thread_local! {
+    /// Per-thread arena for packed B panels and nonzero-index scratch.
+    /// `matmul_into` has no workspace parameter and pool lanes pack
+    /// independently, so the pack buffers live in thread-local storage:
+    /// each thread allocates once, then reuses — steady state performs
+    /// no heap allocation (covered by the bench `allocs_per_iter` gate).
+    static PACK_ARENA: std::cell::RefCell<crate::workspace::Workspace> =
+        std::cell::RefCell::new(crate::workspace::Workspace::new());
+}
+
+/// Offset into `buf` of the first 64-byte-aligned element, so packed
+/// panels start on a cache-line boundary regardless of where the arena's
+/// allocation landed.
+#[inline]
+fn cache_align_offset(buf: &[f32]) -> usize {
+    let addr = buf.as_ptr() as usize;
+    (addr.next_multiple_of(64) - addr) / std::mem::size_of::<f32>()
+}
+
+/// One `KLANES`-product group of a packed `b` panel: `KLANES` rows of
+/// `NR` columns, contiguous. Viewing the panel through fixed-size groups
+/// lets every index in the micro-kernel be a compile-time constant.
+const GROUP: usize = NR * KLANES;
+
+/// The MR×NR register micro-kernel: `R` rows of `a` against one packed
+/// `NR`-wide column panel of `b` (`panel[p*NR + c]` holds `b[p][j + c]`;
+/// exactly `k·NR` floats).
 ///
-/// The output is tiled into [`MR`]`×`[`NR`] register blocks: each tile's
-/// 32 running sums stay in registers across the whole `k` loop while `b`
-/// streams through 8-wide, so memory sees one store per output element
-/// instead of a load+store per `k` step, and every `b` element loaded
-/// feeds four multiply-add lanes. For each output element the `k` partial
-/// products are still added in ascending-`p` order, which is what keeps
-/// the tiled result bit-identical to the naive i-k-j loop — for any row
-/// sharding, since arithmetic is per-row and identical in every path.
+/// The `R × KLANES × NR` running sums live in registers across the whole
+/// `k` loop; product `p` lands in lane `p % KLANES` and the lanes reduce
+/// through [`fold8`] — the contract order, see [`KLANES`]. Two codegen
+/// invariants keep this at SIMD speed: every accumulator index is a
+/// compile-time constant after the `l`/`r` unrolls (one variable lane
+/// index would spill the whole array to the stack), and panel/row loads
+/// go through fixed-size array views converted once per group (one
+/// bounds check per group instead of per lane).
+#[inline(always)]
+fn tile<const R: usize>(ars: [&[f32]; R], k: usize, panel: &[f32]) -> [[f32; NR]; R] {
+    let mut acc = [[[0.0f32; NR]; KLANES]; R];
+    let groups = k / KLANES;
+    for g in 0..groups {
+        let bg: &[f32; GROUP] = panel[g * GROUP..][..GROUP].try_into().expect("panel group");
+        let ags: [&[f32; KLANES]; R] = std::array::from_fn(|r| {
+            ars[r][g * KLANES..][..KLANES]
+                .try_into()
+                .expect("lane group")
+        });
+        for l in 0..KLANES {
+            let brow: &[f32; NR] = bg[l * NR..][..NR].try_into().expect("NR-wide tile");
+            for r in 0..R {
+                acc[r][l] = fma8(acc[r][l], ags[r][l], brow);
+            }
+        }
+    }
+    // Tail: `p` is a multiple of `KLANES` here, so product `p + l` lands
+    // in lane `l` — the guarded constant-`l` unroll keeps the
+    // accumulator indices compile-time constants.
+    let p = groups * KLANES;
+    let rem = k - p;
+    for l in 0..KLANES {
+        if l < rem {
+            let brow: &[f32; NR] = panel[(p + l) * NR..][..NR]
+                .try_into()
+                .expect("NR-wide tile");
+            for r in 0..R {
+                acc[r][l] = fma8(acc[r][l], ars[r][p + l], brow);
+            }
+        }
+    }
+    let mut out = [[0.0f32; NR]; R];
+    for (outr, accr) in out.iter_mut().zip(&acc) {
+        *outr = fold8_wide(accr);
+    }
+    out
+}
+
+/// One lane step of the micro-kernel as a whole-array value operation:
+/// `acc + x·b` element-wise. Returning a fresh array (instead of
+/// mutating through `iter_mut`) is what lets LLVM's SLP vectorizer treat
+/// each lane accumulator as a single SIMD register — the in-place form
+/// compiles to scalar adds at ~7× the cost.
+#[inline(always)]
+fn fma8(acc: [f32; NR], x: f32, b: &[f32; NR]) -> [f32; NR] {
+    std::array::from_fn(|c| acc[c] + x * b[c])
+}
+
+/// Element-wise lane fold for a whole `NR`-wide accumulator block: the
+/// [`fold8`] tree applied per column, but as seven vector adds over the
+/// lane rows instead of `NR` scalar folds with horizontal extracts.
+/// `fold8_wide(acc)[c] == fold8([acc[0][c], …, acc[7][c]])` bit-for-bit
+/// because f32 addition is element-wise — same tree, same operands.
+#[inline(always)]
+fn fold8_wide(l: &[[f32; NR]; KLANES]) -> [f32; NR] {
+    fn add(a: &[f32; NR], b: &[f32; NR]) -> [f32; NR] {
+        std::array::from_fn(|c| a[c] + b[c])
+    }
+    add(
+        &add(&add(&l[0], &l[1]), &add(&l[2], &l[3])),
+        &add(&add(&l[4], &l[5]), &add(&l[6], &l[7])),
+    )
+}
+
+/// One lane-fold dot product with a strided right operand: column `off`
+/// of a row-major `(k × stride)` matrix. The edge path for output
+/// columns beyond the last full `NR` panel — contract order, same bits.
+#[inline(always)]
+fn dot_lane8_strided(arow: &[f32], b: &[f32], stride: usize, off: usize) -> f32 {
+    let k = arow.len();
+    let mut lanes = [0.0f32; KLANES];
+    let mut p = 0;
+    while p + KLANES <= k {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane += arow[p + l] * b[(p + l) * stride + off];
+        }
+        p += KLANES;
+    }
+    let rem = k - p; // tail: lane == l, constant-indexed (see `tile`)
+    for l in 0..KLANES {
+        if l < rem {
+            lanes[l] += arow[p + l] * b[(p + l) * stride + off];
+        }
+    }
+    fold8(lanes)
+}
+
+/// Run the micro-kernel over every row in `rows` for the panel at
+/// column `j`, two rows at a time with a single-row tail.
+#[inline(always)]
+fn tile_rows(
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    j: usize,
+    a: &[f32],
+    panel: &[f32],
+    o: &mut [f32],
+) {
+    let (i0, i1) = (rows.start, rows.end);
+    let mut i = i0;
+    while i + MR <= i1 {
+        let t = tile::<MR>(
+            [&a[i * k..(i + 1) * k], &a[(i + 1) * k..(i + 2) * k]],
+            k,
+            panel,
+        );
+        for (r, trow) in t.iter().enumerate() {
+            o[(i - i0 + r) * n + j..][..NR].copy_from_slice(trow);
+        }
+        i += MR;
+    }
+    while i < i1 {
+        let t = tile::<1>([&a[i * k..(i + 1) * k]], k, panel);
+        o[(i - i0) * n + j..][..NR].copy_from_slice(&t[0]);
+        i += 1;
+    }
+}
+
+/// GEMM core over output rows `rows`: `o = a[rows×k] · b[k×n]`, where
+/// `o` holds exactly those rows. Every output element accumulates in the
+/// fixed 8-lane fold order (see [`KLANES`]) on every path below, so path
+/// and blocking choices are pure performance tuning:
 ///
-/// Zero inputs (`a[i,p] == 0.0`) skip their multiply-add — a large win
-/// for post-ReLU activations, which are about half zeros. The skip is
-/// applied *identically in every path* (tile, leftover columns, leftover
-/// rows): it depends only on the row's own data, never on which path or
-/// shard the row lands in, so results stay bit-identical across worker
-/// counts. (With accumulators starting at `+0.0` and finite `b`, the
-/// skip is also bit-identical to performing the `±0.0` multiply-adds.)
+/// - **Packed-panel path**: `NR`-wide column panels of `b` are packed
+///   into a cache-aligned buffer from the per-thread
+///   [`Workspace`](crate::workspace::Workspace) arena, and an
+///   [`MR`]`×`[`NR`]`×`[`KLANES`] register micro-kernel streams every
+///   row block over the resident panel. Packing is unconditional: the
+///   micro-kernel's bounds checks only vanish when the panel layout is
+///   exact, which is worth one extra copy of `b` even at one row.
+/// - **Streaming path** (`k ≥ `[`STREAM_MIN_K`], where a panel would no
+///   longer be cache-resident): per row, `b` streams exactly once in
+///   `p`-major order through an L1 lane buffer of [`NB`] columns; rows
+///   with zero activations (about half, post-ReLU) are skipped via a
+///   branchless nonzero-index compaction — bit-neutral, see [`KLANES`].
+/// - **Edge columns** (`n % NR`): per-element lane-fold dots.
 pub(crate) fn gemm_rows(
     rows: std::ops::Range<usize>,
     k: usize,
@@ -536,84 +767,104 @@ pub(crate) fn gemm_rows(
     b: &[f32],
     o: &mut [f32],
 ) {
-    let (i0, i1) = (rows.start, rows.end);
-    let mut i = i0;
-    while i + MR <= i1 {
-        let ar = [
-            &a[i * k..(i + 1) * k],
-            &a[(i + 1) * k..(i + 2) * k],
-            &a[(i + 2) * k..(i + 3) * k],
-            &a[(i + 3) * k..(i + 4) * k],
-        ];
-        let mut j = 0;
-        // Register micro-kernel: the 4×8 accumulator tile lives in
-        // registers across the entire k loop, so `o` is written exactly
-        // once per element instead of loaded+stored on every k step.
-        while j + NR <= n {
-            let mut acc = [[0.0f32; NR]; MR];
-            for p in 0..k {
-                // Fixed-size view so the 4×8 tile fully unrolls and the
-                // accumulators are register-promoted.
-                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR]
-                    .try_into()
-                    .expect("NR-wide tile");
-                for (accr, arr) in acc.iter_mut().zip(&ar) {
-                    let x = arr[p];
-                    if x == 0.0 {
-                        continue;
-                    }
-                    for (av, &bv) in accr.iter_mut().zip(brow) {
-                        *av += x * bv;
-                    }
-                }
-            }
-            for (r, accr) in acc.iter().enumerate() {
-                o[(i - i0 + r) * n + j..(i - i0 + r) * n + j + NR].copy_from_slice(accr);
-            }
-            j += NR;
-        }
-        // Leftover columns: one serial dot per element, ascending `p`.
-        while j < n {
-            for (r, arr) in ar.iter().enumerate() {
-                let mut acc = 0.0f32;
-                for (p, &x) in arr.iter().enumerate() {
-                    if x == 0.0 {
-                        continue;
-                    }
-                    acc += x * b[p * n + j];
-                }
-                o[(i - i0 + r) * n + j] = acc;
-            }
-            j += 1;
-        }
-        i += MR;
+    // The streaming path reads all of `b` once *per row*, so it only
+    // wins for row counts too small to amortize a packed panel (the
+    // batch-1 decision path); batches re-use each packed panel across
+    // every row instead.
+    if k >= STREAM_MIN_K && n >= NR && rows.len() < PACK_MIN_ROWS {
+        return stream_rows(rows, k, n, a, b, o);
     }
-    // Leftover rows: vectorizable in-row accumulation, ascending `p`,
-    // with the same per-row zero skip as the tiled path — which rows
-    // land here depends on the shard boundaries, so the arithmetic must
-    // match the tiled path decision-for-decision.
-    while i < i1 {
+    let (i0, i1) = (rows.start, rows.end);
+    let panels = n / NR;
+    if panels > 0 {
+        PACK_ARENA.with(|arena| {
+            let mut ws = arena.borrow_mut();
+            let mut buf = ws.take(1, k * NR + CACHE_LINE_F32S);
+            let data = buf.data_mut();
+            let off = cache_align_offset(data);
+            let panel = &mut data[off..off + k * NR];
+            for j in (0..panels * NR).step_by(NR) {
+                for p in 0..k {
+                    panel[p * NR..(p + 1) * NR].copy_from_slice(&b[p * n + j..p * n + j + NR]);
+                }
+                tile_rows(i0..i1, k, n, j, a, panel, o);
+            }
+            ws.recycle(buf);
+        });
+    }
+    // Edge columns beyond the last full panel.
+    for i in i0..i1 {
         let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut o[(i - i0) * n..(i - i0 + 1) * n];
-        orow.fill(0.0);
-        for (p, &x) in arow.iter().enumerate() {
-            if x == 0.0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            for (ov, &bv) in orow.iter_mut().zip(brow) {
-                *ov += x * bv;
-            }
+        for j in panels * NR..n {
+            o[(i - i0) * n + j] = dot_lane8_strided(arow, b, n, j);
         }
-        i += 1;
     }
 }
 
+/// The streaming (large-`k`) GEMM path: per output row, `b` is read
+/// exactly once top to bottom while `KLANES` lane rows of up to [`NB`]
+/// columns accumulate in an 8 KiB L1 buffer; the lane rows then reduce
+/// with the contract fold tree. Zero activations skip their `b` row
+/// entirely — the skip list is built with a branchless compaction so the
+/// hot loop runs unpredicted. Bits are identical to the packed-panel
+/// path (same lane assignment, same fold — see [`KLANES`]).
+fn stream_rows(
+    rows: std::ops::Range<usize>,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    o: &mut [f32],
+) {
+    let (i0, i1) = (rows.start, rows.end);
+    PACK_ARENA.with(|arena| {
+        let mut ws = arena.borrow_mut();
+        // Nonzero indices as f32 bit-patterns so the scratch rides the
+        // same f32 arena as the pack buffers (u32 -> f32 bit casts are
+        // exact in both directions).
+        let mut nz_buf = ws.take(1, k);
+        let nz_data = nz_buf.data_mut();
+        for i in i0..i1 {
+            let arow = &a[i * k..(i + 1) * k];
+            // Branchless nonzero compaction: the write always happens,
+            // the cursor only advances on nonzero — no mispredicted
+            // branch per element, unlike `if x != 0 { push }`.
+            let mut nnz = 0usize;
+            for (p, &x) in arow.iter().enumerate() {
+                nz_data[nnz] = f32::from_bits(p as u32);
+                nnz += (x != 0.0) as usize;
+            }
+            let nz = &nz_data[..nnz];
+            let orow = &mut o[(i - i0) * n..(i - i0 + 1) * n];
+            let mut j0 = 0;
+            while j0 < n {
+                let nb = (n - j0).min(NB);
+                let mut acc = [[0.0f32; NB]; KLANES];
+                for &pv in nz {
+                    let p = pv.to_bits() as usize;
+                    let x = arow[p];
+                    let lane = &mut acc[p % KLANES];
+                    let brow = &b[p * n + j0..p * n + j0 + nb];
+                    for (av, &bv) in lane[..nb].iter_mut().zip(brow) {
+                        *av += x * bv;
+                    }
+                }
+                for (jj, ov) in orow[j0..j0 + nb].iter_mut().enumerate() {
+                    *ov = fold8(std::array::from_fn(|l| acc[l][jj]));
+                }
+                j0 += nb;
+            }
+        }
+        ws.recycle(nz_buf);
+    });
+}
+
 /// `tmatmul` core over output rows `rows`: `o = a[k×m]ᵀ · b[k×n]` rows
-/// `rows`, with `o` holding exactly those rows. Mirrors [`gemm_rows`]'s
-/// 4×8 register tile; because the left operand is stored `(k × m)`, the
-/// four `x` values per `p` sit contiguously at `a[p·m + i..]` — one
-/// 4-wide load. Ascending-`p` accumulation per element.
+/// `rows`, with `o` holding exactly those rows. The row slice of `aᵀ` is
+/// staged contiguously in the arena (one pass over `a`, read row-major),
+/// then the shared [`gemm_rows`] kernel runs — one code path, one
+/// accumulation order. `k` here is a training batch size, so the staged
+/// slice is small relative to the `m·k·n` multiply volume it feeds.
 fn tmatmul_rows(
     rows: std::ops::Range<usize>,
     k: usize,
@@ -624,59 +875,56 @@ fn tmatmul_rows(
     o: &mut [f32],
 ) {
     let (i0, i1) = (rows.start, rows.end);
-    let mut i = i0;
-    while i + MR <= i1 {
-        let mut j = 0;
-        while j + NR <= n {
-            let mut acc = [[0.0f32; NR]; MR];
-            for p in 0..k {
-                let xs: &[f32; MR] = a[p * m + i..p * m + i + MR]
-                    .try_into()
-                    .expect("MR-wide load");
-                let brow: &[f32; NR] = b[p * n + j..p * n + j + NR]
-                    .try_into()
-                    .expect("NR-wide tile");
-                for (accr, &x) in acc.iter_mut().zip(xs) {
-                    for (av, &bv) in accr.iter_mut().zip(brow) {
-                        *av += x * bv;
-                    }
-                }
-            }
-            for (r, accr) in acc.iter().enumerate() {
-                o[(i - i0 + r) * n + j..(i - i0 + r) * n + j + NR].copy_from_slice(accr);
-            }
-            j += NR;
+    let mrows = i1 - i0;
+    // Take the staging buffer, then release the arena borrow before
+    // `gemm_rows` takes its own pack buffer from the same arena.
+    let mut at_buf = PACK_ARENA.with(|arena| arena.borrow_mut().take(1, mrows * k));
+    let at = at_buf.data_mut();
+    for p in 0..k {
+        let arow = &a[p * m + i0..p * m + i1];
+        for (c, &v) in arow.iter().enumerate() {
+            at[c * k + p] = v;
         }
-        // Leftover columns: one serial dot per element, ascending `p`.
-        while j < n {
-            for r in 0..MR {
-                let mut acc = 0.0f32;
-                for p in 0..k {
-                    acc += a[p * m + i + r] * b[p * n + j];
-                }
-                o[(i - i0 + r) * n + j] = acc;
-            }
-            j += 1;
-        }
-        i += MR;
     }
-    // Leftover rows: one serial dot per element, ascending `p`.
-    while i < i1 {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a[p * m + i] * b[p * n + j];
-            }
-            o[(i - i0) * n + j] = acc;
+    gemm_rows(0..mrows, k, n, at, b, o);
+    PACK_ARENA.with(|arena| arena.borrow_mut().recycle(at_buf));
+}
+
+/// Output-column block of the `matmul_t` kernel: rows of `b` dotted
+/// against one streamed row of `a` per sweep, reusing each loaded `a`
+/// lane group `JT` times.
+const JT: usize = 4;
+
+/// One lane-fold dot of two contiguous `k`-vectors — all eight lanes run
+/// as one vector accumulator over `KLANES`-element groups. Contract
+/// order (see [`KLANES`]).
+#[inline(always)]
+pub(crate) fn dot_lane8(arow: &[f32], brow: &[f32]) -> f32 {
+    let k = arow.len();
+    let mut lanes = [0.0f32; KLANES];
+    let mut p = 0;
+    while p + KLANES <= k {
+        let ax: &[f32; KLANES] = arow[p..][..KLANES].try_into().expect("lane group");
+        let bx: &[f32; KLANES] = brow[p..][..KLANES].try_into().expect("lane group");
+        for (lane, (&av, &bv)) in lanes.iter_mut().zip(ax.iter().zip(bx)) {
+            *lane += av * bv;
         }
-        i += 1;
+        p += KLANES;
     }
+    let rem = k - p; // tail: lane == l, constant-indexed (see `tile`)
+    for l in 0..KLANES {
+        if l < rem {
+            lanes[l] += arow[p + l] * brow[p + l];
+        }
+    }
+    fold8(lanes)
 }
 
 /// `matmul_t` core over output rows `rows`: `o = a[m×k] · b[n×k]ᵀ` rows
-/// `rows`, with `o` holding exactly those rows. Blocked over output
-/// columns: [`MR`] rows of `b` are dotted against one streamed row of `a`
-/// per sweep; each dot keeps a single ascending-`k` accumulator.
+/// `rows`, with `o` holding exactly those rows. Both operands are
+/// contiguous along `k`, so every dot is a full-width lane-fold dot
+/// ([`dot_lane8`]), blocked [`JT`] `b` rows per sweep of the streamed
+/// `a` row. Contract lane order (see [`KLANES`]).
 fn matmul_t_rows(
     rows: std::ops::Range<usize>,
     k: usize,
@@ -690,33 +938,36 @@ fn matmul_t_rows(
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut o[(i - i0) * n..(i - i0 + 1) * n];
         let mut j = 0;
-        while j + MR <= n {
-            let (b0, b1, b2, b3) = (
-                &b[j * k..(j + 1) * k],
-                &b[(j + 1) * k..(j + 2) * k],
-                &b[(j + 2) * k..(j + 3) * k],
-                &b[(j + 3) * k..(j + 4) * k],
-            );
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-            for ((((&av, &v0), &v1), &v2), &v3) in arow.iter().zip(b0).zip(b1).zip(b2).zip(b3) {
-                s0 += av * v0;
-                s1 += av * v1;
-                s2 += av * v2;
-                s3 += av * v3;
+        while j + JT <= n {
+            let mut lanes = [[0.0f32; KLANES]; JT];
+            let mut p = 0;
+            while p + KLANES <= k {
+                let ax: &[f32; KLANES] = arow[p..][..KLANES].try_into().expect("lane group");
+                for (r, lr) in lanes.iter_mut().enumerate() {
+                    let bx: &[f32; KLANES] = b[(j + r) * k + p..][..KLANES]
+                        .try_into()
+                        .expect("lane group");
+                    for (lane, (&av, &bv)) in lr.iter_mut().zip(ax.iter().zip(bx)) {
+                        *lane += av * bv;
+                    }
+                }
+                p += KLANES;
             }
-            orow[j] = s0;
-            orow[j + 1] = s1;
-            orow[j + 2] = s2;
-            orow[j + 3] = s3;
-            j += MR;
+            let rem = k - p; // tail: lane == l, constant-indexed (see `tile`)
+            for l in 0..KLANES {
+                if l < rem {
+                    for (r, lr) in lanes.iter_mut().enumerate() {
+                        lr[l] += arow[p + l] * b[(j + r) * k + p + l];
+                    }
+                }
+            }
+            for (r, lr) in lanes.iter().enumerate() {
+                orow[j + r] = fold8(*lr);
+            }
+            j += JT;
         }
         while j < n {
-            let brow = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in arow.iter().zip(brow) {
-                acc += av * bv;
-            }
-            orow[j] = acc;
+            orow[j] = dot_lane8(arow, &b[j * k..(j + 1) * k]);
             j += 1;
         }
     }

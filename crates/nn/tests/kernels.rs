@@ -1,19 +1,24 @@
 //! Bit-exactness contracts for the blocked GEMM kernels and fused
 //! epilogues.
 //!
-//! The register-blocked kernels in `tensor.rs` (`matmul_into`,
-//! `tmatmul_into`, `matmul_t_into`, `matmul_bias_act_into`) are only
-//! allowed to change *when* arithmetic happens, never *what* arithmetic
-//! happens: every output element must accumulate its `k` products in
-//! ascending order, exactly like the naive loop. That makes blocking,
-//! buffer reuse, and activation fusion invisible to every seeded test in
-//! the workspace. These property-style tests (hand-rolled, no `proptest`
-//! offline) pin the contract with `f32::to_bits` equality across random
-//! shapes — including the degenerate `1×N` row-vector and `N×1`
-//! column-vector cases that bypass whole blocks of the `MR`-row kernel.
+//! The lane-group kernels in `tensor.rs` (`matmul_into`, `tmatmul_into`,
+//! `matmul_t_into`, `matmul_bias_act_into`) are only allowed to change
+//! *when* arithmetic happens, never *what* arithmetic happens: every
+//! output element accumulates product `p` into lane `p % KLANES`
+//! (ascending `p` within each lane, lanes starting from `+0.0`) and
+//! folds the eight lanes with the fixed `fold8` tree. That fold order is
+//! the kernel's public contract — blocking, B-panel packing, buffer
+//! reuse, activation fusion, streaming-path selection, and thread count
+//! are all invisible to every seeded test in the workspace. These
+//! property-style tests (hand-rolled, no `proptest` offline) pin the
+//! contract with `f32::to_bits` equality across random shapes —
+//! including the degenerate `1×N` row-vector and `N×1` column-vector
+//! cases that bypass whole blocks of the register kernel, shapes big
+//! enough to engage B-panel packing, and `k ≥ 768` shapes that take the
+//! streaming zero-skip path.
 
 use osa_nn::prelude::*;
-use osa_nn::tensor::Act;
+use osa_nn::tensor::{fold8, Act, KLANES};
 
 const CASES: usize = 100;
 
@@ -22,9 +27,25 @@ fn random_tensor(rows: usize, cols: usize, rng: &mut Rng) -> Tensor {
     Tensor::from_vec(rows, cols, data)
 }
 
+/// Like [`random_tensor`] but with roughly a third of entries exactly
+/// `0.0` — exercises the streaming path's zero-skip compaction, which
+/// must be bit-neutral.
+fn sparse_tensor(rows: usize, cols: usize, rng: &mut Rng) -> Tensor {
+    let data = (0..rows * cols)
+        .map(|_| {
+            if rng.below(3) == 0 {
+                0.0
+            } else {
+                rng.range_f32(-2.0, 2.0)
+            }
+        })
+        .collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
 /// Random GEMM dimensions, forcing the degenerate edges every 4th case.
 fn random_dims(case: usize, rng: &mut Rng) -> (usize, usize, usize) {
-    // Up to 20 so full 4×8 register tiles, partial tiles, and leftover
+    // Up to 20 so full register tiles, partial tiles, and leftover
     // rows/columns all occur.
     let (mut m, mut k, mut n) = (1 + rng.below(20), 1 + rng.below(20), 1 + rng.below(20));
     match case % 4 {
@@ -51,46 +72,48 @@ fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str, case: usize) {
     }
 }
 
-/// Naive reference: per output element, ascending-`k` accumulation in f32.
+/// The contract reduction: product `p` lands in lane `p % KLANES`
+/// (ascending `p` per lane, lanes start at `+0.0`), folded with the
+/// fixed [`fold8`] tree. Every kernel path must match this bit-for-bit.
+fn lane8_dot(products: impl Iterator<Item = f32>) -> f32 {
+    let mut lanes = [0.0f32; KLANES];
+    for (p, prod) in products.enumerate() {
+        lanes[p % KLANES] += prod;
+    }
+    fold8(lanes)
+}
+
+/// Naive reference: per output element, the contract lane-fold reduction.
 fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(a.rows(), b.cols());
     for i in 0..a.rows() {
         for j in 0..b.cols() {
-            let mut acc = 0.0f32;
-            for p in 0..a.cols() {
-                acc += a.get(i, p) * b.get(p, j);
-            }
-            *out.row_mut(i).get_mut(j).unwrap() = acc;
+            let dot = lane8_dot((0..a.cols()).map(|p| a.get(i, p) * b.get(p, j)));
+            *out.row_mut(i).get_mut(j).unwrap() = dot;
         }
     }
     out
 }
 
-/// Naive `aᵀ·b`: shapes `(k,m)ᵀ·(k,n) → (m,n)`, ascending-`k` accumulation.
+/// Naive `aᵀ·b`: shapes `(k,m)ᵀ·(k,n) → (m,n)`, contract lane-fold.
 fn naive_tmatmul(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(a.cols(), b.cols());
     for i in 0..a.cols() {
         for j in 0..b.cols() {
-            let mut acc = 0.0f32;
-            for p in 0..a.rows() {
-                acc += a.get(p, i) * b.get(p, j);
-            }
-            *out.row_mut(i).get_mut(j).unwrap() = acc;
+            let dot = lane8_dot((0..a.rows()).map(|p| a.get(p, i) * b.get(p, j)));
+            *out.row_mut(i).get_mut(j).unwrap() = dot;
         }
     }
     out
 }
 
-/// Naive `a·bᵀ`: shapes `(m,k)·(n,k)ᵀ → (m,n)`, ascending-`k` accumulation.
+/// Naive `a·bᵀ`: shapes `(m,k)·(n,k)ᵀ → (m,n)`, contract lane-fold.
 fn naive_matmul_t(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = Tensor::zeros(a.rows(), b.rows());
     for i in 0..a.rows() {
         for j in 0..b.rows() {
-            let mut acc = 0.0f32;
-            for p in 0..a.cols() {
-                acc += a.get(i, p) * b.get(j, p);
-            }
-            *out.row_mut(i).get_mut(j).unwrap() = acc;
+            let dot = lane8_dot((0..a.cols()).map(|p| a.get(i, p) * b.get(j, p)));
+            *out.row_mut(i).get_mut(j).unwrap() = dot;
         }
     }
     out
@@ -135,6 +158,71 @@ fn blocked_matmul_t_is_bit_identical_to_the_naive_loop() {
     }
 }
 
+/// The packed-panel path (rows ≥ 4, full `NR`-wide panels) against the
+/// naive reference, at shapes chosen so the B panel, its column fringe,
+/// the `MR`-row pairs, and the single-row tail are all live at once —
+/// e.g. 9×21·13: packing on, one full panel + 5 fringe columns, four
+/// row pairs + one leftover row, 21 = 2 full lane groups + 5-step tail.
+#[test]
+fn packed_panel_path_is_bit_identical_to_the_naive_loop() {
+    let mut rng = Rng::seed_from_u64(406);
+    let shapes = [
+        (9usize, 21usize, 13usize), // panel + fringe + row tail + k tail
+        (4, 8, 8),                  // minimal packing: exactly one panel
+        (5, 16, 9),                 // one panel + 1 fringe column
+        (32, 40, 24),               // several panels, even everything
+        (4, 7, 17),                 // k below one lane group
+        (3, 24, 16),                // below PACK_MIN_ROWS: unpacked tiles
+    ];
+    for (case, &(m, k, n)) in shapes.iter().enumerate() {
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        assert_bits_eq(&a.matmul(&b), &naive_matmul(&a, &b), "packed matmul", case);
+    }
+}
+
+/// Row-vector (`1×N`) and column-vector (`N×1`) edges against the packed
+/// kernel specifically: `n` wide enough for full B panels while `m = 1`
+/// skips packing, and `n = 1` takes the pure edge-column dot path — each
+/// threaded through one dirty reused buffer.
+#[test]
+fn edge_shapes_hit_the_packed_kernel_paths() {
+    let mut rng = Rng::seed_from_u64(407);
+    let mut out = Tensor::from_vec(3, 3, vec![f32::NAN; 9]); // poisoned start
+    for case in 0..CASES {
+        let k = 1 + rng.below(40);
+        let n = 8 + rng.below(24); // ≥ NR: full panels exist
+        let row = random_tensor(1, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        row.matmul_into(&b, &mut out);
+        assert_bits_eq(&out, &naive_matmul(&row, &b), "1xN matmul", case);
+
+        let m = 4 + rng.below(24); // ≥ PACK_MIN_ROWS rows, single column
+        let a = random_tensor(m, k, &mut rng);
+        let col = random_tensor(k, 1, &mut rng);
+        a.matmul_into(&col, &mut out);
+        assert_bits_eq(&out, &naive_matmul(&a, &col), "Nx1 matmul", case);
+    }
+}
+
+/// The streaming path (`k ≥ 768`, `n ≥ 8`) with its branchless zero-skip
+/// compaction must match the naive lane-fold reference bit-for-bit even
+/// when the left operand is ~1/3 exact zeros — skipping a `±0.0`
+/// product never changes an accumulator bit because lanes start at
+/// `+0.0` and can never become `-0.0`.
+#[test]
+fn streaming_path_zero_skip_is_bit_neutral() {
+    let mut rng = Rng::seed_from_u64(408);
+    for (case, &(m, k, n)) in [(1usize, 800usize, 24usize), (3, 768, 8), (2, 1000, 13)]
+        .iter()
+        .enumerate()
+    {
+        let a = sparse_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        assert_bits_eq(&a.matmul(&b), &naive_matmul(&a, &b), "stream matmul", case);
+    }
+}
+
 /// The `_into` kernels must fully overwrite a reused buffer: one dirty
 /// `Tensor` is threaded through all 100 cases with shapes that never
 /// match its previous contents, and each result must equal a fresh
@@ -157,6 +245,25 @@ fn into_kernels_overwrite_dirty_reused_buffers() {
         let at = random_tensor(k, m, &mut rng);
         at.tmatmul_into(&b, &mut out);
         assert_bits_eq(&out, &at.tmatmul(&b), "tmatmul_into reuse", case);
+    }
+}
+
+/// Dirty-buffer reuse specifically through the packed-panel path: every
+/// case has rows ≥ `PACK_MIN_ROWS` and `n ≥ NR` so the arena-packed
+/// kernel (not just the blocked fallback) proves it overwrites rather
+/// than accumulates into stale contents.
+#[test]
+fn packed_kernel_overwrites_dirty_reused_buffers() {
+    let mut rng = Rng::seed_from_u64(409);
+    let mut out = Tensor::from_vec(6, 6, vec![f32::NAN; 36]); // poisoned start
+    for case in 0..CASES {
+        let m = 4 + rng.below(16);
+        let k = 1 + rng.below(32);
+        let n = 8 + rng.below(16);
+        let a = random_tensor(m, k, &mut rng);
+        let b = random_tensor(k, n, &mut rng);
+        a.matmul_into(&b, &mut out);
+        assert_bits_eq(&out, &naive_matmul(&a, &b), "packed reuse", case);
     }
 }
 
@@ -193,7 +300,7 @@ fn fused_bias_act_matches_the_unfused_sequence() {
 /// cross the internal parallel threshold and genuinely shard rows across
 /// workers, while the `m = 1` / `n = 1` / `k = 1` edges every 4th case
 /// keep exercising the inline path under an active pool. Each sweep
-/// compares against the naive ascending-`k` reference, and a dirty shared
+/// compares against the naive lane-fold reference, and a dirty shared
 /// output buffer is threaded through like the reuse test above.
 #[test]
 fn kernels_are_bit_identical_across_worker_counts() {
