@@ -13,7 +13,9 @@
 //!    where the ensemble signals stay constant.
 //! 2. **SMO train time** — fitting the U_S one-class SVM on the §3.1
 //!    feature corpus (~6.3k windows), the offline cost a deployment
-//!    pays per calibration.
+//!    pays per calibration — plus **batched U_S scoring**
+//!    (`u_s_batched`): a 64-window shard through one
+//!    `score_batch_into`, the fleet path's per-decision signal cost.
 //! 3. **Batched vs sequential ensemble forward** — the 5-replica
 //!    stacked actor forward against five per-replica forwards of the
 //!    same weights, pinning the win that makes the ensemble signals
@@ -125,6 +127,33 @@ fn main() {
     if let Value::Obj(map) = &mut entry {
         map.insert("windows".into(), Value::Num(windows.len() as f64));
         map.insert("support_vectors".into(), Value::Num(sv_count as f64));
+    }
+    results.push(entry);
+
+    // 2b. Batched U_S scoring: the fleet path stages a shard's ready
+    //    feature windows and scores them in one `score_batch_into`
+    //    call — the cross-term GEMM amortizes across sessions. 64 rows
+    //    matches the fleet benchmark's decisions-per-iteration so the
+    //    ns/decision medians are comparable with `u_s_decision` (which
+    //    additionally pays the acting forward).
+    const US_BATCH: usize = 64;
+    let mut batch = Tensor::zeros(US_BATCH, FEATURE_DIM);
+    for i in 0..US_BATCH {
+        batch
+            .row_mut(i)
+            .copy_from_slice(&windows[i % windows.len()]);
+    }
+    let mut scores = vec![0.0f32; US_BATCH];
+    let stats = run_bench("u_s_batched", samples, || {
+        svm.score_batch_into(&batch, &mut scores);
+        std::hint::black_box(&scores);
+    });
+    let ns = stats.median_ns as f64 / US_BATCH as f64;
+    per_decision.push(("u_s_batched", ns));
+    let mut entry = stats.to_json();
+    if let Value::Obj(map) = &mut entry {
+        map.insert("ns_per_decision".into(), Value::Num(ns.round()));
+        map.insert("batch".into(), Value::Num(US_BATCH as f64));
     }
     results.push(entry);
 

@@ -91,8 +91,11 @@ fn calibrated_alpha(video: &VideoModel, cfg: &AbrConfig, split: &Split) -> f32 {
     .alpha
 }
 
+#[allow(clippy::too_many_arguments)] // one knob per ServeConfig field under sweep
 fn steady_engine(
     alpha: f32,
+    anchor: Option<f32>,
+    signal: FleetSignal,
     video: &VideoModel,
     cfg: &AbrConfig,
     traces: &[Trace],
@@ -101,6 +104,7 @@ fn steady_engine(
 ) -> FleetEngine {
     let serve = ServeConfig {
         alpha,
+        anchor,
         reverse: Some(REVERSE),
         shard: 64,
         auto_reset: true,
@@ -114,7 +118,7 @@ fn steady_engine(
     }
     FleetEngine::new(
         ens,
-        FleetSignal::ValueDisagreement,
+        signal,
         video.clone(),
         cfg.clone(),
         traces.to_vec(),
@@ -142,7 +146,7 @@ fn calibrated_us(video: &VideoModel, cfg: &AbrConfig, split: &Split) -> UsGuard 
         NoveltySignal::new(svm.clone()),
         Monitor::new(DEFAULT_K, f32::INFINITY, DEFAULT_L),
     );
-    let unanchored = calibrate(
+    let unanchored = calibrate_novelty(
         &mut agent,
         video,
         cfg,
@@ -150,7 +154,7 @@ fn calibrated_us(video: &VideoModel, cfg: &AbrConfig, split: &Split) -> UsGuard 
         DEFAULT_MARGIN,
     );
     agent.monitor_mut().set_anchor(Some(unanchored.mu));
-    let anchored = calibrate(
+    let anchored = calibrate_novelty(
         &mut agent,
         video,
         cfg,
@@ -284,17 +288,43 @@ fn main() {
     let video = VideoModel::envivio();
     let cfg = AbrConfig::default();
     let alpha = calibrated_alpha(&video, &cfg, &split);
+    let guard = calibrated_us(&video, &cfg, &split);
     let steady_traces = &split.test[..8];
     let mut results = Vec::new();
 
-    // 1. Gated: steady-state round latency, fixed-size fleet — once on
-    //    the f32 path, once on the int8 quantized path.
-    for (name, precision) in [
-        ("serve_round_256", ServePrecision::F32),
-        ("serve_round_256_int8", ServePrecision::Int8),
+    // 1. Gated: steady-state round latency, fixed-size fleet — the U_V
+    //    fleet on the f32 path and again on the int8 quantized path,
+    //    plus a U_S novelty fleet (per-shard batched SVM scoring) under
+    //    the anchored calibrated guard. In-distribution traces keep the
+    //    novelty fleet observing (untripped), so the U_S case times the
+    //    full per-session scoring work, not a mostly-frozen fleet.
+    for (name, signal, a, anchor, precision) in [
+        (
+            "serve_round_256",
+            FleetSignal::ValueDisagreement,
+            alpha,
+            None,
+            ServePrecision::F32,
+        ),
+        (
+            "serve_round_256_int8",
+            FleetSignal::ValueDisagreement,
+            alpha,
+            None,
+            ServePrecision::Int8,
+        ),
+        (
+            "serve_round_256_us",
+            FleetSignal::Novelty(guard.svm.clone()),
+            guard.alpha,
+            Some(guard.mu),
+            ServePrecision::F32,
+        ),
     ] {
         let mut engine = steady_engine(
-            alpha,
+            a,
+            anchor,
+            signal,
             &video,
             &cfg,
             steady_traces,
@@ -325,6 +355,8 @@ fn main() {
     //    gated `_ns` suffix — fleet size is env-dependent.
     let mut engine = steady_engine(
         alpha,
+        None,
+        FleetSignal::ValueDisagreement,
         &video,
         &cfg,
         steady_traces,
@@ -373,7 +405,6 @@ fn main() {
 
     // 3. Transient-shift recovery: sticky (default-forever) vs reverse
     //    under the shared anchored U_S guard.
-    let guard = calibrated_us(&video, &cfg, &split);
     results.push(shift_entry(
         "belgium_shift_reverse",
         &guard,

@@ -92,4 +92,9 @@ fn steady_state_fleet_rounds_are_allocation_free() {
     // behavior is pinned in `serve_determinism.rs`).
     let t = u_v.telemetry();
     assert!(t.total_switches > 0, "α = 1e-4 must trip U_V sessions");
+    // Same for U_S: trips prove the batched scoring arm ran with a
+    // shrinking-then-regrowing batch (tripped sessions stop observing,
+    // rollovers restart warm-up) without falling back to the heap.
+    let t = u_s.telemetry();
+    assert!(t.total_switches > 0, "α = 1e-4 must trip U_S sessions");
 }

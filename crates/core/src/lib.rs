@@ -43,7 +43,7 @@ pub mod safe_agent;
 pub mod serve;
 pub mod signal;
 
-pub use calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
+pub use calibrate::{calibrate, calibrate_novelty, Calibration, DEFAULT_MARGIN};
 pub use ensemble::{
     shared, PensieveEnsemble, PolicyDisagreement, ServePrecision, SharedEnsemble,
     ValueDisagreement, ENSEMBLE_FORMAT_VERSION,
@@ -71,7 +71,7 @@ pub const DEFAULT_L: usize = 3;
 
 /// One-stop import for downstream crates, examples, and tests.
 pub mod prelude {
-    pub use crate::calibrate::{calibrate, Calibration, DEFAULT_MARGIN};
+    pub use crate::calibrate::{calibrate, calibrate_novelty, Calibration, DEFAULT_MARGIN};
     pub use crate::ensemble::{
         shared, PensieveEnsemble, PolicyDisagreement, ServePrecision, SharedEnsemble,
         ValueDisagreement, ENSEMBLE_FORMAT_VERSION,

@@ -165,6 +165,15 @@ where
         &self.signal
     }
 
+    /// Mutable signal access — for signal-specific protocols around a
+    /// session run, e.g. the deferred-scoring mode
+    /// [`crate::calibrate::calibrate_novelty`] drives on
+    /// [`crate::signal::NoveltySignal`]. Not needed on the per-decision
+    /// path, which goes through [`SafeAgent::decide`].
+    pub fn signal_mut(&mut self) -> &mut S {
+        &mut self.signal
+    }
+
     pub fn monitor(&self) -> &Monitor {
         &self.monitor
     }

@@ -67,6 +67,9 @@ use crate::{DEFAULT_K, DEFAULT_L};
 const NO_INDEX: u32 = u32::MAX;
 
 /// Which uncertainty signal guards the fleet.
+// One value per engine (not per session), so the OcSvm payload's size
+// difference against the unit variants costs nothing.
+#[allow(clippy::large_enum_variant)]
 pub enum FleetSignal {
     /// Never trips — the unguarded learned policy (baseline fleets).
     Null,
@@ -388,6 +391,13 @@ struct LaneScratch {
     mean: [f32; NUM_BITRATES],
     devs: Vec<f32>,
     feat: [f32; FEATURE_DIM],
+    /// U_S batch staging: feature rows of this round's ready sessions,
+    /// their shard-local indices, and the batched scores — one
+    /// `score_batch_into` call per shard instead of one detector call
+    /// per session.
+    feats: Tensor,
+    us_idx: Vec<usize>,
+    us_scores: Vec<f32>,
 }
 
 impl LaneScratch {
@@ -402,6 +412,9 @@ impl LaneScratch {
             mean: [0.0; NUM_BITRATES],
             devs: Vec::with_capacity(replicas),
             feat: [0.0; FEATURE_DIM],
+            feats: Tensor::zeros(shard, FEATURE_DIM),
+            us_idx: Vec::with_capacity(shard),
+            us_scores: Vec::with_capacity(shard),
         }
     }
 }
@@ -814,6 +827,14 @@ fn decide_shard(
             }
         }
         FleetSignal::Novelty(svm) => {
+            // Gather the shard's ready feature windows, score them in
+            // ONE batched call (the cross-term GEMM amortizes across
+            // sessions), then scatter the scores back. Bit-identical to
+            // per-session scoring — the batched engine is the canonical
+            // path at every batch size — and still sharded: the staging
+            // tensors live in this lane's scratch.
+            scratch.feats.reset_rows(FEATURE_DIM);
+            scratch.us_idx.clear();
             for (s_i, slot) in slots.iter_mut().enumerate() {
                 let i = first + s_i;
                 // A sticky (or locked) fallback stops observing — its
@@ -826,7 +847,16 @@ fn decide_shard(
                 slot.fw.push(tput);
                 if slot.fw.ready() {
                     slot.fw.write(&mut scratch.feat);
-                    slot.raw = svm.score(&scratch.feat);
+                    scratch.feats.push_row(&scratch.feat);
+                    scratch.us_idx.push(s_i);
+                }
+            }
+            if !scratch.us_idx.is_empty() {
+                scratch.us_scores.clear();
+                scratch.us_scores.resize(scratch.us_idx.len(), 0.0);
+                svm.score_batch_into(&scratch.feats, &mut scratch.us_scores);
+                for (&s_i, &score) in scratch.us_idx.iter().zip(&scratch.us_scores) {
+                    slots[s_i].raw = score;
                 }
             }
         }

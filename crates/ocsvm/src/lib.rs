@@ -27,7 +27,7 @@ pub use detector::{
     FitDiag, KnnDetector, MahalanobisDetector, NoveltyDetector, OcSvm, OcSvmConfig,
 };
 pub use features::{window_features, FeatureWindow, FEATURE_DIM, FEATURE_PAIRS, FEATURE_WINDOW};
-pub use kernel::rbf;
+pub use kernel::{dot8, exp_fast, rbf, sq_norm};
 pub use smo::{solve_one_class, SmoConfig, SmoResult};
 
 /// One-stop import for downstream crates, examples, and tests.

@@ -21,11 +21,19 @@
 //! bit-identical across runs and (trivially, being serial) across pool
 //! widths.
 //!
+//! Kernel rows use the same distance decomposition as the batched
+//! scorer (`‖xᵢ − xⱼ‖² = ‖xᵢ‖² + ‖xⱼ‖² − 2·xᵢ·xⱼ`): row norms are
+//! precomputed once and each row's cross terms stream through one
+//! `1×d · (n×d)ᵀ` GEMM via the `osa-nn` lane kernels. Because
+//! [`sq_norm`] mirrors the GEMM's lane-8 accumulation order, the
+//! diagonal cancels *exactly* — `K(i, i) = 1` bit-for-bit — which the
+//! curvature floor (`eta`) relies on.
+//!
 //! ν is both a box parameter and a guarantee: at the optimum the
 //! fraction of margin errors is ≤ ν ≤ the fraction of support vectors
 //! (pinned by `tests/properties.rs`).
 
-use crate::kernel::rbf;
+use crate::kernel::{exp_fast, sq_norm};
 use osa_nn::tensor::Tensor;
 
 /// Convergence controls for [`solve_one_class`].
@@ -85,11 +93,12 @@ pub fn solve_one_class(x: &Tensor, gamma: f32, nu: f64, cfg: &SmoConfig) -> SmoR
     }
 
     // g = Kα, built from the initially non-zero coefficients.
+    let mut scratch = GramScratch::new(x);
     let mut g = vec![0.0f64; n];
     let mut row = vec![0.0f32; n];
     for (j, &aj) in alphas.iter().enumerate() {
         if aj > 0.0 {
-            kernel_row(x, gamma, j, &mut row);
+            kernel_row(x, gamma, j, &mut scratch, &mut row);
             for (gi, &k) in g.iter_mut().zip(&row) {
                 *gi += aj * k as f64;
             }
@@ -111,8 +120,8 @@ pub fn solve_one_class(x: &Tensor, gamma: f32, nu: f64, cfg: &SmoConfig) -> SmoR
         if kkt_gap < cfg.tol {
             break;
         }
-        kernel_row(x, gamma, i_up, &mut row);
-        kernel_row(x, gamma, i_low, &mut row_low);
+        kernel_row(x, gamma, i_up, &mut scratch, &mut row);
+        kernel_row(x, gamma, i_low, &mut scratch, &mut row_low);
         // Curvature along e_up − e_low; K_ii = 1 for RBF, so this is
         // 2 − 2K(up, low), floored against degenerate duplicates.
         let eta = (row[i_up] as f64 + row_low[i_low] as f64 - 2.0 * row[i_low] as f64).max(1e-12);
@@ -133,11 +142,39 @@ pub fn solve_one_class(x: &Tensor, gamma: f32, nu: f64, cfg: &SmoConfig) -> SmoR
     }
 }
 
-/// One kernel row `K(i, ·)` against every training sample.
-fn kernel_row(x: &Tensor, gamma: f32, i: usize, out: &mut [f32]) {
-    let xi = x.row(i);
-    for (j, o) in out.iter_mut().enumerate() {
-        *o = rbf(gamma, xi, x.row(j));
+/// Scratch for [`kernel_row`]: row norms precomputed once per solve,
+/// plus the two tensors the cross-term GEMM streams through, reused
+/// across every pair update so the solver stays allocation-free after
+/// setup.
+struct GramScratch {
+    norms: Vec<f32>,
+    xi: Tensor,
+    cross: Tensor,
+}
+
+impl GramScratch {
+    fn new(x: &Tensor) -> GramScratch {
+        GramScratch {
+            norms: (0..x.rows()).map(|i| sq_norm(x.row(i))).collect(),
+            xi: Tensor::zeros(1, x.cols()),
+            cross: Tensor::zeros(1, x.rows()),
+        }
+    }
+}
+
+/// One kernel row `K(i, ·)` against every training sample: one
+/// `1×d · (n×d)ᵀ` GEMM for the cross terms, then the distance
+/// decomposition against the precomputed norms. A single-row GEMM runs
+/// inline (never pooled), so the solve stays serial and bit-identical
+/// at every `OSA_THREADS`.
+fn kernel_row(x: &Tensor, gamma: f32, i: usize, s: &mut GramScratch, out: &mut [f32]) {
+    let GramScratch { norms, xi, cross } = s;
+    xi.row_mut(0).copy_from_slice(x.row(i));
+    xi.matmul_t_into(x, cross);
+    let ni = norms[i];
+    for ((o, &nj), &cj) in out.iter_mut().zip(norms.iter()).zip(cross.row(0)) {
+        let d2 = (ni + nj - 2.0 * cj).max(0.0);
+        *o = exp_fast(-gamma * d2);
     }
 }
 
